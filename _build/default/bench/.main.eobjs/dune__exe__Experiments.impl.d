@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Float Harness Lazy List Option Printf R3_core R3_mcf R3_mplsff R3_net R3_sim R3_util

@@ -1,0 +1,1 @@
+bench/harness.ml: Array Filename List Marshal Option Printf R3_core R3_mcf R3_net R3_sim R3_te R3_util Sys

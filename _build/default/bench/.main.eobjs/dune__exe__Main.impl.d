@@ -1,0 +1,1 @@
+bench/main.ml: Array Experiments Harness List Micro Printf R3_util String Sys

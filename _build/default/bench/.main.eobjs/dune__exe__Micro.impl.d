@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Harness Hashtbl Instance Lazy List Measure Printf R3_core R3_mcf R3_mplsff R3_net R3_util Staged String Test Time Toolkit

@@ -1,0 +1,251 @@
+(* r3: command-line front end for the R3 library.
+
+   Subcommands:
+     topologies  - list the built-in topology catalog
+     precompute  - run the offline phase and save/inspect a plan
+     evaluate    - apply a failure scenario to a saved plan
+     compare     - R3 vs the baselines on sampled scenarios
+     storage     - Table-3-style router storage report *)
+
+module G = R3_net.Graph
+module Traffic = R3_net.Traffic
+module Topology = R3_net.Topology
+module Offline = R3_core.Offline
+
+open Cmdliner
+
+let topology_arg =
+  let doc = "Topology tag (see `r3 topologies')." in
+  Arg.(value & opt string "abilene" & info [ "t"; "topology" ] ~docv:"TAG" ~doc)
+
+let load_topology tag =
+  match Topology.find tag with
+  | Some { Topology.graph; _ } -> graph
+  | None ->
+    Printf.eprintf "unknown topology %S\n" tag;
+    exit 2
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload PRNG seed.")
+
+let load_arg =
+  Arg.(value & opt float 0.3 & info [ "load" ] ~docv:"F" ~doc:"Gravity-model load factor.")
+
+(* ---- topologies ---- *)
+
+let topologies_cmd =
+  let run () =
+    List.iter
+      (fun { Topology.tag; description; graph } ->
+        Printf.printf "%-10s %3d nodes %4d d-links  %s\n" tag (G.num_nodes graph)
+          (G.num_links graph) description)
+      (Topology.catalog ())
+  in
+  Cmd.v (Cmd.info "topologies" ~doc:"List built-in topologies") Term.(const run $ const ())
+
+(* ---- precompute ---- *)
+
+let make_tm g ~seed ~load =
+  let rng = R3_util.Prng.create seed in
+  Traffic.gravity rng g ~load_factor:load ()
+
+let bidir_groups g =
+  Array.to_list (R3_sim.Scenarios.physical_links g)
+  |> List.map (fun e ->
+         match G.reverse_link g e with Some r -> [ e; r ] | None -> [ e ])
+
+let precompute tag f bidir joint method_ seed load out =
+  let g = load_topology tag in
+  let tm = make_tm g ~seed ~load in
+  let pairs, _ = Traffic.commodities tm in
+  let solve_method =
+    match method_ with
+    | "dual" -> Offline.Dualized
+    | "cg" -> Offline.Constraint_gen
+    | other ->
+      Printf.eprintf "unknown method %S (use cg or dual)\n" other;
+      exit 2
+  in
+  let cfg = { (Offline.default_config ~f) with solve_method } in
+  let base_spec =
+    if joint then Offline.Joint
+    else
+      Offline.Fixed (R3_net.Ospf.routing g ~weights:(R3_net.Ospf.unit_weights g) ~pairs ())
+  in
+  let result, dt =
+    R3_util.Timer.time (fun () ->
+        if bidir then
+          R3_core.Structured.compute cfg g tm
+            { R3_core.Structured.srlgs = bidir_groups g; mlgs = []; k = f }
+            base_spec
+        else Offline.compute cfg g tm base_spec)
+  in
+  match result with
+  | Error msg ->
+    Printf.eprintf "precompute failed: %s\n" msg;
+    exit 1
+  | Ok plan ->
+    Printf.printf
+      "plan: %s, F=%d (%s failures), MLU over d+X = %.4f, LP %d vars x %d rows, %.2fs\n"
+      tag f
+      (if bidir then "physical" else "directed")
+      plan.Offline.mlu plan.Offline.lp_vars plan.Offline.lp_rows dt;
+    if plan.Offline.mlu <= 1.0 then
+      Printf.printf "congestion-free guarantee HOLDS (Theorem 1)\n"
+    else
+      Printf.printf "MLU > 1: protection is best-effort for this budget\n";
+    match out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out_bin path in
+      Marshal.to_channel oc plan [];
+      close_out oc;
+      Printf.printf "plan saved to %s\n" path
+
+let precompute_cmd =
+  let f_arg = Arg.(value & opt int 1 & info [ "f" ] ~docv:"F" ~doc:"Failure budget.") in
+  let bidir_arg =
+    Arg.(value & flag & info [ "bidir" ] ~doc:"Protect physical (bidirectional) failures.")
+  in
+  let joint_arg =
+    Arg.(value & flag & info [ "joint" ] ~doc:"Jointly optimize the base routing (LP (7)).")
+  in
+  let method_arg =
+    Arg.(value & opt string "cg" & info [ "method" ] ~docv:"cg|dual" ~doc:"Solve method.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Save plan.")
+  in
+  Cmd.v
+    (Cmd.info "precompute" ~doc:"Run the R3 offline phase")
+    Term.(
+      const precompute $ topology_arg $ f_arg $ bidir_arg $ joint_arg $ method_arg
+      $ seed_arg $ load_arg $ out_arg)
+
+(* ---- evaluate ---- *)
+
+let parse_links g spec =
+  (* "NodeA-NodeB,NodeC-NodeD" or link ids "3,7" *)
+  String.split_on_char ',' spec
+  |> List.filter (fun s -> s <> "")
+  |> List.concat_map (fun part ->
+         match String.index_opt part '-' with
+         | Some i ->
+           let a = String.sub part 0 i in
+           let b = String.sub part (i + 1) (String.length part - i - 1) in
+           let na = try G.node_id g a with Not_found -> Printf.eprintf "unknown node %s\n" a; exit 2 in
+           let nb = try G.node_id g b with Not_found -> Printf.eprintf "unknown node %s\n" b; exit 2 in
+           (match G.find_link g na nb with
+           | Some e -> (
+             match G.reverse_link g e with Some r -> [ e; r ] | None -> [ e ])
+           | None ->
+             Printf.eprintf "no link %s-%s\n" a b;
+             exit 2)
+         | None -> [ int_of_string part ])
+
+let evaluate plan_path fail_spec =
+  let ic = open_in_bin plan_path in
+  let plan : Offline.plan = Marshal.from_channel ic in
+  close_in ic;
+  let g = plan.Offline.graph in
+  let links = parse_links g fail_spec in
+  let st = R3_core.Reconfig.apply_failures (R3_core.Reconfig.of_plan plan) links in
+  Printf.printf "failed %d directed links; MLU = %.4f; delivered = %.2f%%\n"
+    (List.length links) (R3_core.Reconfig.mlu st)
+    (100.0 *. R3_core.Reconfig.delivered_fraction st)
+
+let evaluate_cmd =
+  let plan_arg =
+    Arg.(required & opt (some string) None & info [ "plan" ] ~docv:"FILE" ~doc:"Saved plan.")
+  in
+  let fail_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "fail" ] ~docv:"A-B,C-D" ~doc:"Failure scenario (node pairs or link ids).")
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Apply a failure scenario to a saved plan")
+    Term.(const evaluate $ plan_arg $ fail_arg)
+
+(* ---- compare ---- *)
+
+let compare_run tag k count seed load =
+  let g = load_topology tag in
+  let tm = make_tm g ~seed ~load in
+  let pairs, demands = Traffic.commodities tm in
+  let weights = R3_net.Ospf.unit_weights g in
+  let base = R3_net.Ospf.routing g ~weights ~pairs () in
+  let cfg =
+    { (Offline.default_config ~f:k) with solve_method = Offline.Constraint_gen }
+  in
+  match
+    R3_core.Structured.compute cfg g tm
+      { R3_core.Structured.srlgs = bidir_groups g; mlgs = []; k }
+      (Offline.Fixed base)
+  with
+  | Error m ->
+    Printf.eprintf "R3 precompute failed: %s\n" m;
+    exit 1
+  | Ok plan ->
+    let env =
+      R3_sim.Eval.make_env g ~weights ~pairs ~demands ~ospf_r3:plan ()
+    in
+    let scenarios = R3_sim.Scenarios.sample_k g ~k ~count ~seed in
+    let algorithms =
+      R3_sim.Eval.
+        [ Ospf_cspf_detour; Ospf_recon; Fcp; Path_splice; Ospf_r3; Ospf_opt ]
+    in
+    let curves = R3_sim.Eval.sorted_curves env ~algorithms ~scenarios () in
+    Printf.printf "performance ratio vs optimal over %d scenarios of %d physical failures:\n"
+      (List.length scenarios) k;
+    List.iteri
+      (fun i alg ->
+        let c = curves.(i) in
+        if Array.length c > 0 then
+          Printf.printf "  %-18s median %.3f  p90 %.3f  worst %.3f\n"
+            (R3_sim.Eval.algorithm_name alg)
+            (R3_util.Stats.percentile 50.0 c)
+            (R3_util.Stats.percentile 90.0 c)
+            (R3_util.Stats.max c))
+      algorithms
+
+let compare_cmd =
+  let k_arg = Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Physical failures per scenario.") in
+  let count_arg = Arg.(value & opt int 30 & info [ "count" ] ~docv:"N" ~doc:"Scenario count.") in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare R3 against the baselines")
+    Term.(const compare_run $ topology_arg $ k_arg $ count_arg $ seed_arg $ load_arg)
+
+(* ---- storage ---- *)
+
+let storage tag seed load =
+  let g = load_topology tag in
+  let tm = make_tm g ~seed ~load in
+  let pairs, _ = Traffic.commodities tm in
+  let base = R3_net.Ospf.routing g ~weights:(R3_net.Ospf.unit_weights g) ~pairs () in
+  let cfg =
+    { (Offline.default_config ~f:1) with solve_method = Offline.Constraint_gen }
+  in
+  match
+    R3_core.Structured.compute cfg g tm
+      { R3_core.Structured.srlgs = bidir_groups g; mlgs = []; k = 1 }
+      (Offline.Fixed base)
+  with
+  | Error m ->
+    Printf.eprintf "precompute failed: %s\n" m;
+    exit 1
+  | Ok plan ->
+    let report = R3_mplsff.Storage.of_protection g plan.Offline.protection in
+    Format.printf "%s: %a@." tag R3_mplsff.Storage.pp report
+
+let storage_cmd =
+  Cmd.v
+    (Cmd.info "storage" ~doc:"Router storage report (Table 3)")
+    Term.(const storage $ topology_arg $ seed_arg $ load_arg)
+
+let () =
+  let info = Cmd.info "r3" ~version:"1.0.0" ~doc:"Resilient Routing Reconfiguration" in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ topologies_cmd; precompute_cmd; evaluate_cmd; compare_cmd; storage_cmd ]))

@@ -1,0 +1,1 @@
+examples/abilene_failover.ml: Array Format Int List Option R3_core R3_mplsff R3_net R3_sim R3_util

@@ -1,0 +1,1 @@
+examples/penalty_envelope_tradeoff.ml: Array Format List Printf R3_core R3_mcf R3_net R3_sim R3_util

@@ -1,0 +1,1 @@
+examples/prioritized_protection.ml: Array Float Format List R3_core R3_net R3_sim R3_util

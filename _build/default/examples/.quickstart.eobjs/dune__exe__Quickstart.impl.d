@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Option R3_core R3_net

@@ -1,0 +1,1 @@
+examples/srlg_maintenance.ml: Format List R3_core R3_net R3_util

@@ -1,0 +1,1 @@
+examples/srlg_maintenance.mli:

@@ -1,0 +1,1 @@
+lib/baselines/cspf_detour.ml: Array Float List R3_net Types

@@ -1,0 +1,1 @@
+lib/baselines/cspf_detour.mli: R3_net Types

@@ -1,0 +1,1 @@
+lib/baselines/fcp.ml: Array Float Hashtbl Int List R3_net Types

@@ -1,0 +1,1 @@
+lib/baselines/fcp.mli: R3_net Types

@@ -1,0 +1,1 @@
+lib/baselines/opt_detour.ml: Array Float Hashtbl List Option Printf R3_lp R3_net Types

@@ -1,0 +1,1 @@
+lib/baselines/opt_detour.mli: R3_net Types

@@ -1,0 +1,1 @@
+lib/baselines/ospf_recon.ml: Array R3_net Types

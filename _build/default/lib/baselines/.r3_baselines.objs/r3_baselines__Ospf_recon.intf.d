@@ -1,0 +1,1 @@
+lib/baselines/ospf_recon.mli: R3_net Types

@@ -1,0 +1,1 @@
+lib/baselines/path_splicing.ml: Array Float Hashtbl Int List Option R3_net R3_util Types

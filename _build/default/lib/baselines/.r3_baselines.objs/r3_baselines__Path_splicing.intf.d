@@ -1,0 +1,1 @@
+lib/baselines/path_splicing.mli: R3_net Types

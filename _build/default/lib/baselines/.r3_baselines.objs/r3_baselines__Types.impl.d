@@ -1,0 +1,1 @@
+lib/baselines/types.ml: Array R3_net

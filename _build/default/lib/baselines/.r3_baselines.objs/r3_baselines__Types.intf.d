@@ -1,0 +1,1 @@
+lib/baselines/types.mli: R3_net

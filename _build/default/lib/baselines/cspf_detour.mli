@@ -1,0 +1,16 @@
+(** OSPF with CSPF fast-reroute (the paper's OSPF+CSPF-detour).
+
+    The base routing stays in place; the traffic that crossed each failed
+    link is tunneled along the constrained shortest path from the link's
+    head to its tail computed on the surviving topology — the standard
+    MPLS FRR bypass. Traffic of failed links whose endpoints are
+    disconnected is lost. *)
+
+val evaluate :
+  R3_net.Graph.t ->
+  failed:R3_net.Graph.link_set ->
+  weights:float array ->
+  base:R3_net.Routing.t ->
+  demands:float array ->
+  unit ->
+  Types.outcome

@@ -1,0 +1,19 @@
+(** Failure-carrying packets (Lakshminarayanan et al., SIGCOMM 2007) —
+    the paper's FCP baseline.
+
+    Packets start with the pre-failure link-state map; when a packet's next
+    hop (the OSPF next hop on its current map) is a failed link, the packet
+    records the failure, recomputes its route from the current node, and
+    continues. Reachability is guaranteed absent partitions, but paths can
+    be far from capacity-aware, which is exactly the congestion behaviour
+    the paper measures. Deterministic single-path forwarding with
+    lowest-link-id tie-breaking. *)
+
+val evaluate :
+  R3_net.Graph.t ->
+  failed:R3_net.Graph.link_set ->
+  weights:float array ->
+  pairs:(R3_net.Graph.node * R3_net.Graph.node) array ->
+  demands:float array ->
+  unit ->
+  Types.outcome

@@ -1,0 +1,27 @@
+(** Flow-based optimal link detour routing — the paper's "opt" baseline.
+
+    For a {e specific} failure scenario, solves a small LP for the jointly
+    optimal detours: each failed directed link's pre-failure load is
+    rerouted from its head to its tail over the surviving topology so that
+    the resulting MLU is minimized. This is the best any link-based
+    protection can do for that scenario, but — as the paper stresses — it
+    must be recomputed per scenario, which is why it serves only as a
+    bound. Failed links whose endpoints are disconnected lose their
+    traffic. *)
+
+val evaluate :
+  R3_net.Graph.t ->
+  failed:R3_net.Graph.link_set ->
+  base:R3_net.Routing.t ->
+  demands:float array ->
+  unit ->
+  (Types.outcome, string) result
+
+(** Optimal post-failure MLU only (convenience). *)
+val mlu :
+  R3_net.Graph.t ->
+  failed:R3_net.Graph.link_set ->
+  base:R3_net.Routing.t ->
+  demands:float array ->
+  unit ->
+  (float, string) result

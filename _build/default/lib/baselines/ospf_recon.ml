@@ -1,0 +1,20 @@
+module G = R3_net.Graph
+
+let evaluate g ?failed ~weights ~pairs ~demands () =
+  let failed = match failed with Some f -> f | None -> G.no_failures g in
+  let routing = R3_net.Ospf.routing g ~failed ~weights ~pairs () in
+  let loads = R3_net.Routing.loads g ~demands routing in
+  let total = Array.fold_left ( +. ) 0.0 demands in
+  let delivered =
+    if total <= 0.0 then 1.0
+    else begin
+      let got = ref 0.0 in
+      Array.iteri
+        (fun k d ->
+          if d > 0.0 then
+            got := !got +. (d *. R3_net.Routing.delivered g routing k))
+        demands;
+      !got /. total
+    end
+  in
+  { Types.loads; delivered }

@@ -1,0 +1,12 @@
+(** OSPF reconvergence: after failures, SPF is simply recomputed on the
+    surviving topology with unchanged weights (the paper's OSPF+recon).
+    Demand whose destination became unreachable is lost. *)
+
+val evaluate :
+  R3_net.Graph.t ->
+  ?failed:R3_net.Graph.link_set ->
+  weights:float array ->
+  pairs:(R3_net.Graph.node * R3_net.Graph.node) array ->
+  demands:float array ->
+  unit ->
+  Types.outcome

@@ -1,0 +1,140 @@
+module G = R3_net.Graph
+
+type config = { slices : int; b : float; seed : int }
+
+let default_config = { slices = 10; b = 3.0; seed = 97 }
+
+(* Degree-based perturbation from the paper: Weight(a,b,i,j) =
+   (degree i + degree j) / degree_max, with a = 0. *)
+let slice_weights cfg g base =
+  let n = G.num_nodes g in
+  let degree = Array.make n 0 in
+  for e = 0 to G.num_links g - 1 do
+    degree.(G.src g e) <- degree.(G.src g e) + 1
+  done;
+  let deg_max = Array.fold_left Int.max 1 degree in
+  let rng = R3_util.Prng.create cfg.seed in
+  List.init cfg.slices (fun s ->
+      if s = 0 then Array.copy base
+      else
+        Array.mapi
+          (fun e w ->
+            let i = G.src g e and j = G.dst g e in
+            let wt = float_of_int (degree.(i) + degree.(j)) /. float_of_int deg_max in
+            (* Multiplier drawn from [a, b * wt] with a = 0: factors below 1
+               let slices genuinely reorder paths (a floor keeps weights
+               positive). *)
+            let u = R3_util.Prng.float rng 1.0 in
+            w *. Float.max 0.5 (u *. cfg.b *. wt))
+          base)
+
+(* Per-slice, per-destination single next hop (lowest link id on the
+   shortest-path DAG of the slice, computed on the original topology). *)
+let next_hop_tables g slice_ws ~dst =
+  List.map
+    (fun weights ->
+      let dist = R3_net.Spf.distances_to g ~weights ~dst () in
+      Array.init (G.num_nodes g) (fun v ->
+          if v = dst || dist.(v) = infinity then None
+          else begin
+            let best = ref None in
+            Array.iter
+              (fun e ->
+                if !best = None then begin
+                  let w = G.dst g e in
+                  if
+                    dist.(w) < infinity
+                    && Float.abs (weights.(e) +. dist.(w) -. dist.(v))
+                       <= 1e-9 *. (1.0 +. dist.(v))
+                  then best := Some e
+                end)
+              (G.out_links g v);
+            !best
+          end))
+    slice_ws
+
+let evaluate ?(config = default_config) g ~failed ~weights ~pairs ~demands () =
+  let m = G.num_links g in
+  let loads = Array.make m 0.0 in
+  let total = Array.fold_left ( +. ) 0.0 demands in
+  let delivered = ref 0.0 in
+  let slice_ws = slice_weights config g weights in
+  (* Group OD pairs by destination: next-hop tables are per destination. *)
+  let by_dst = Hashtbl.create 16 in
+  Array.iteri
+    (fun k (_, b) ->
+      let l = Option.value (Hashtbl.find_opt by_dst b) ~default:[] in
+      Hashtbl.replace by_dst b (k :: l))
+    pairs;
+  let max_hops = 10 * G.num_nodes g in
+  let min_flow = 1e-9 in
+  Hashtbl.iter
+    (fun b ks ->
+      let tables = next_hop_tables g slice_ws ~dst:b in
+      let tables = Array.of_list tables in
+      let nslices = Array.length tables in
+      let alive_hop s v =
+        match tables.(s).(v) with
+        | Some e when not failed.(e) -> Some e
+        | Some _ | None -> None
+      in
+      List.iter
+        (fun k ->
+          let a, _ = pairs.(k) in
+          let d = demands.(k) in
+          if d > 0.0 then begin
+            (* Flow propagation over (node, slice) states, level by level. *)
+            let frontier = Hashtbl.create 16 in
+            Hashtbl.replace frontier (a, 0) d;
+            let hops = ref 0 in
+            while Hashtbl.length frontier > 0 && !hops < max_hops do
+              incr hops;
+              let next = Hashtbl.create 16 in
+              let push key flow =
+                let prev = Option.value (Hashtbl.find_opt next key) ~default:0.0 in
+                Hashtbl.replace next key (prev +. flow)
+              in
+              Hashtbl.iter
+                (fun (v, s) flow ->
+                  if flow >= min_flow then begin
+                    if v = b then delivered := !delivered +. flow
+                    else begin
+                      match alive_hop s v with
+                      | Some e ->
+                        loads.(e) <- loads.(e) +. flow;
+                        push (G.dst g e, s) flow
+                      | None ->
+                        (* Splice: uniform split across other slices with a
+                           live next hop here. *)
+                        let alts =
+                          List.init nslices (fun s' -> s')
+                          |> List.filter (fun s' -> s' <> s && alive_hop s' v <> None)
+                        in
+                        let n_alt = List.length alts in
+                        if n_alt > 0 then begin
+                          let share = flow /. float_of_int n_alt in
+                          List.iter
+                            (fun s' ->
+                              match alive_hop s' v with
+                              | Some e ->
+                                loads.(e) <- loads.(e) +. share;
+                                push (G.dst g e, s') share
+                              | None -> ())
+                            alts
+                        end
+                    end
+                  end)
+                frontier;
+              Hashtbl.reset frontier;
+              Hashtbl.iter (fun k v -> Hashtbl.replace frontier k v) next
+            done;
+            (* Anything still in flight at the hop budget: delivered if at
+               the destination, lost otherwise. *)
+            Hashtbl.iter
+              (fun (v, _) flow -> if v = b then delivered := !delivered +. flow)
+              frontier
+          end)
+        ks)
+    by_dst;
+  let delivered = if total <= 0.0 then 1.0 else !delivered /. total in
+  { Types.loads; delivered }

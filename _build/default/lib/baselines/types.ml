@@ -1,0 +1,12 @@
+type outcome = { loads : float array; delivered : float }
+
+let bottleneck g ?failed outcome =
+  let failed = match failed with Some f -> f | None -> R3_net.Graph.no_failures g in
+  let worst = ref 0.0 in
+  for e = 0 to R3_net.Graph.num_links g - 1 do
+    if not failed.(e) then begin
+      let u = outcome.loads.(e) /. R3_net.Graph.capacity g e in
+      if u > !worst then worst := u
+    end
+  done;
+  !worst

@@ -1,0 +1,10 @@
+(** Common result shape for protection baselines. *)
+
+type outcome = {
+  loads : float array;  (** per-link traffic load after the scheme reacts *)
+  delivered : float;  (** fraction of total demand delivered, in [0,1] *)
+}
+
+(** Utilization of the worst live link. *)
+val bottleneck :
+  R3_net.Graph.t -> ?failed:R3_net.Graph.link_set -> outcome -> float

@@ -1,0 +1,1 @@
+lib/core/lp_build.ml: Array Float List Option Printf R3_lp R3_net

@@ -1,0 +1,1 @@
+lib/core/lp_build.mli: R3_lp R3_net

@@ -1,0 +1,1 @@
+lib/core/offline.ml: Array Float Hashtbl Int List Lp_build Option Printf R3_lp R3_net Virtual_demand

@@ -1,0 +1,1 @@
+lib/core/offline.mli: R3_net

@@ -1,0 +1,1 @@
+lib/core/priority.ml: Array Float Hashtbl Int List Lp_build Offline Option R3_lp R3_net Structured Verify Virtual_demand

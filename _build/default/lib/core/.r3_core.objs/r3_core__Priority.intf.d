@@ -1,0 +1,1 @@
+lib/core/priority.mli: Offline R3_net

@@ -1,0 +1,1 @@
+lib/core/reconfig.ml: Array List Offline R3_net

@@ -1,0 +1,1 @@
+lib/core/reconfig.mli: Offline R3_net

@@ -1,0 +1,1 @@
+lib/core/structured.ml: Array Float Fun Hashtbl List Lp_build Offline Option Printf R3_lp R3_net

@@ -1,0 +1,1 @@
+lib/core/structured.mli: Offline R3_net

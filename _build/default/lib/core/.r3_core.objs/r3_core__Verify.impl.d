@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Float Int List Offline Printf R3_net R3_util Reconfig String Virtual_demand

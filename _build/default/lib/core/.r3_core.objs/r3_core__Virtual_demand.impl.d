@@ -1,0 +1,1 @@
+lib/core/virtual_demand.ml: Array Float Int List Printf R3_net

@@ -1,0 +1,1 @@
+lib/core/virtual_demand.mli: R3_net

@@ -1,0 +1,113 @@
+module G = R3_net.Graph
+module Routing = R3_net.Routing
+
+type state = {
+  graph : G.t;
+  pairs : (G.node * G.node) array;
+  demands : float array;
+  base : Routing.t;
+  protection : Routing.t;
+  failed : G.link_set;
+}
+
+let of_plan (plan : Offline.plan) =
+  {
+    graph = plan.Offline.graph;
+    pairs = plan.Offline.pairs;
+    demands = plan.Offline.demands;
+    base = Routing.copy plan.Offline.base;
+    protection = Routing.copy plan.Offline.protection;
+    failed = G.no_failures plan.Offline.graph;
+  }
+
+let make graph ~pairs ~demands ~base ~protection =
+  if Array.length (protection.Routing.pairs) <> G.num_links graph then
+    invalid_arg "Reconfig.make: protection must have one commodity per link";
+  {
+    graph;
+    pairs;
+    demands;
+    base = Routing.copy base;
+    protection = Routing.copy protection;
+    failed = G.no_failures graph;
+  }
+
+let one_tol = 1e-9
+
+let detour st e =
+  let m = G.num_links st.graph in
+  let pe = st.protection.Routing.frac.(e) in
+  let self = pe.(e) in
+  let xi = Array.make m 0.0 in
+  if self < 1.0 -. one_tol then begin
+    let scale = 1.0 /. (1.0 -. self) in
+    for l = 0 to m - 1 do
+      if l <> e then xi.(l) <- pe.(l) *. scale
+    done
+  end;
+  xi
+
+let apply_failure st e =
+  if st.failed.(e) then st
+  else begin
+    let xi = detour st e in
+    let m = G.num_links st.graph in
+    (* (9): fold the base traffic of the failed link onto the detour. *)
+    let update_row row =
+      let on_e = row.(e) in
+      if on_e > 0.0 then begin
+        for l = 0 to m - 1 do
+          if l <> e then row.(l) <- row.(l) +. (on_e *. xi.(l))
+        done
+      end;
+      row.(e) <- 0.0
+    in
+    let base = Routing.copy st.base in
+    Array.iter update_row base.Routing.frac;
+    (* (10): same for every other link's protection routing. The failed
+       link's own row becomes the detour xi_e itself: its virtual demand
+       leaves X_F, but the forwarding plane keeps using xi_e to carry the
+       link's real traffic (and later failures keep rescaling it). *)
+    let protection = Routing.copy st.protection in
+    Array.iteri
+      (fun l row -> if l <> e then update_row row)
+      protection.Routing.frac;
+    Array.blit xi 0 protection.Routing.frac.(e) 0 m;
+    let failed = Array.copy st.failed in
+    failed.(e) <- true;
+    { st with base; protection; failed }
+  end
+
+let apply_bidir_failure st e =
+  let st = apply_failure st e in
+  match G.reverse_link st.graph e with
+  | Some r -> apply_failure st r
+  | None -> st
+
+let apply_failures st links = List.fold_left apply_failure st links
+
+let loads st = Routing.loads st.graph ~demands:st.demands st.base
+
+let mlu st =
+  let loads = loads st in
+  let u = ref 0.0 in
+  for e = 0 to G.num_links st.graph - 1 do
+    if not st.failed.(e) then begin
+      let x = loads.(e) /. G.capacity st.graph e in
+      if x > !u then u := x
+    end
+  done;
+  !u
+
+let delivered_fraction st =
+  let total = Array.fold_left ( +. ) 0.0 st.demands in
+  if total <= 0.0 then 1.0
+  else begin
+    let got = ref 0.0 in
+    Array.iteri
+      (fun k d ->
+        if d > 0.0 then
+          got := !got +. (d *. Routing.delivered st.graph st.base k))
+      st.demands;
+    !got /. total
+  end

@@ -1,0 +1,57 @@
+(** R3 online reconfiguration (Section 3.2).
+
+    After link [e] fails, the precomputed protection routing [p] — defined
+    on the original topology, so possibly using [e] itself — is converted
+    into a valid detour by rescaling (8):
+
+    {v  xi_e(l) = p_e(l) / (1 - p_e(e))      for l <> e  v}
+
+    and both the base routing and the protection routing are updated by
+    (9) and (10) to stop using [e]. The procedure is local, cheap, and
+    order-independent (Theorem 3), which this module's tests verify. *)
+
+type state = {
+  graph : R3_net.Graph.t;
+  pairs : (R3_net.Graph.node * R3_net.Graph.node) array;
+  demands : float array;
+  base : R3_net.Routing.t;  (** current (possibly reconfigured) r *)
+  protection : R3_net.Routing.t;  (** current (possibly rescaled) p *)
+  failed : R3_net.Graph.link_set;
+}
+
+(** Initial state from an offline plan (no failures yet). *)
+val of_plan : Offline.plan -> state
+
+(** Initial state from explicitly given routings. *)
+val make :
+  R3_net.Graph.t ->
+  pairs:(R3_net.Graph.node * R3_net.Graph.node) array ->
+  demands:float array ->
+  base:R3_net.Routing.t ->
+  protection:R3_net.Routing.t ->
+  state
+
+(** The detour [xi_e] for a link, per (8), on the {e current} state. When
+    [p_e(e) = 1] the detour is all-zero: the link carries nothing that needs
+    protection (or the network is partitioned) and its traffic is dropped. *)
+val detour : state -> R3_net.Graph.link -> float array
+
+(** Fail a single directed link: rescale and update [r] and [p].
+    Idempotent on already-failed links. *)
+val apply_failure : state -> R3_net.Graph.link -> state
+
+(** Fail a link and its reverse direction (physical failure). *)
+val apply_bidir_failure : state -> R3_net.Graph.link -> state
+
+(** Apply a failure sequence left to right (directed links). *)
+val apply_failures : state -> R3_net.Graph.link list -> state
+
+(** Per-link load of the real traffic under the current base routing. *)
+val loads : state -> float array
+
+(** Maximum link utilization of the current state (failed links excluded —
+    they carry nothing). *)
+val mlu : state -> float
+
+(** Fraction of total demand still delivered (1.0 absent partitions). *)
+val delivered_fraction : state -> float

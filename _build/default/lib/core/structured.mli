@@ -1,0 +1,35 @@
+(** Realistic failure scenarios: shared-risk link groups and maintenance
+    link groups (Section 3.5, equation (18)).
+
+    The rerouted-traffic envelope is restricted to what at most [k]
+    concurrent SRLG events plus at most one MLG event can produce: a link
+    not covered by any down group carries no virtual demand. As in the
+    paper we solve the LP relaxation of (18), which upper-bounds the
+    integral worst case (conservative, still congestion-free). *)
+
+type groups = {
+  srlgs : R3_net.Graph.link list list;  (** shared-risk groups *)
+  mlgs : R3_net.Graph.link list list;  (** maintenance groups *)
+  k : int;  (** max concurrent SRLG events *)
+}
+
+(** Worst-case virtual load on a fixed link given per-link weights
+    [w_l = c_l * p_l(e)] — the optimal objective of the LP relaxation of
+    (18), solved exactly as a small LP. Returns the value and the optimal
+    fractional failure intensities [y_l = x_l / c_l] per link, which are
+    the coefficients of the corresponding cutting plane. *)
+val worst_structured_load : groups -> float array -> float * float array
+
+(** Offline computation under structured failures, by constraint
+    generation ([config.f] is ignored; [groups.k] plays its role). The
+    resulting plan's [f] field is set to [groups.k]. *)
+val compute :
+  Offline.config ->
+  R3_net.Graph.t ->
+  R3_net.Traffic.t ->
+  groups ->
+  Offline.base_spec ->
+  (Offline.plan, string) result
+
+(** Audit the worst-case MLU of a plan under the structured envelope. *)
+val audit_mlu : Offline.plan -> groups -> float

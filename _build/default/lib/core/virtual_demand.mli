@@ -1,0 +1,27 @@
+(** The rerouting virtual demand set [X_F] of equation (2):
+
+    {v X_F = { x | 0 <= x_e/c_e <= 1 for all e,  sum_e x_e/c_e <= F } v}
+
+    plus the closed form of the inner maximization (5): because (5) is a
+    fractional knapsack with unit weights, the worst-case virtual load on a
+    link [e] under protection routing [p] is exactly the sum of the [F]
+    largest values of [c_l * p_l(e)]. This closed form powers both the
+    congestion-free verifier and the constraint-generation solver. *)
+
+(** [member g ~f x] checks x in X_F (x indexed by link). *)
+val member : R3_net.Graph.t -> f:int -> float array -> bool
+
+(** Extreme points of [X_F] on small graphs: every subset of at most [f]
+    links at full capacity. Exponential — intended for tests; raises
+    [Invalid_argument] when there would be more than [limit] (default
+    200_000) points. *)
+val extreme_points : ?limit:int -> R3_net.Graph.t -> f:int -> float array list
+
+(** [worst_virtual_load g ~f ~weights] where [weights.(l) = c_l * p_l(e)]
+    for a fixed link [e]: the optimal objective of (5), i.e. the sum of the
+    [f] largest weights. *)
+val worst_virtual_load : f:int -> float array -> float
+
+(** As above but also returning the argmax set of links (the adversarial
+    failure scenario for this link), largest first. *)
+val worst_virtual_load_set : f:int -> float array -> float * int list

@@ -1,0 +1,219 @@
+type var = int
+
+type cmp = Le | Ge | Eq
+
+type var_info = { vname : string; lb : float; ub : float }
+
+type row = { rname : string; terms : (float * var) list; cmp : cmp; rhs : float }
+
+type t = {
+  pname : string;
+  mutable vars : var_info list;  (* reversed *)
+  mutable nvars : int;
+  mutable rows : row list;  (* reversed *)
+  mutable nrows : int;
+  mutable sense_minimize : bool;
+  mutable obj_terms : (float * var) list;
+}
+
+type solution = { objective : float; value : var -> float }
+
+type result =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+let create ?(name = "lp") () =
+  {
+    pname = name;
+    vars = [];
+    nvars = 0;
+    rows = [];
+    nrows = 0;
+    sense_minimize = true;
+    obj_terms = [];
+  }
+
+let name t = t.pname
+
+let var t ?(lb = 0.0) ?(ub = infinity) vname =
+  if lb > ub then invalid_arg ("Problem.var: lb > ub for " ^ vname);
+  let v = t.nvars in
+  t.vars <- { vname; lb; ub } :: t.vars;
+  t.nvars <- t.nvars + 1;
+  v
+
+let free_var t vname = var t ~lb:neg_infinity ~ub:infinity vname
+
+let constr t ?name terms cmp rhs =
+  let rname =
+    match name with Some n -> n | None -> Printf.sprintf "c%d" t.nrows
+  in
+  t.rows <- { rname; terms; cmp; rhs } :: t.rows;
+  t.nrows <- t.nrows + 1
+
+let minimize t terms =
+  t.sense_minimize <- true;
+  t.obj_terms <- terms
+
+let maximize t terms =
+  t.sense_minimize <- false;
+  t.obj_terms <- terms
+
+let add_objective_term t coef v = t.obj_terms <- (coef, v) :: t.obj_terms
+
+let num_vars t = t.nvars
+let num_constraints t = t.nrows
+
+let vars_array t =
+  let arr = Array.make t.nvars { vname = ""; lb = 0.0; ub = 0.0 } in
+  List.iteri (fun i vi -> arr.(t.nvars - 1 - i) <- vi) t.vars;
+  arr
+
+let var_name t v =
+  if v < 0 || v >= t.nvars then invalid_arg "Problem.var_name: bad var";
+  (vars_array t).(v).vname
+
+(* Combine duplicate variables in a term list into a sparse (idx, coef)
+   pair of arrays, dropping exact zeros. *)
+let compact_terms nvars terms =
+  let acc = Hashtbl.create 16 in
+  List.iter
+    (fun (c, v) ->
+      if v < 0 || v >= nvars then invalid_arg "Problem: variable out of range";
+      let prev = Option.value (Hashtbl.find_opt acc v) ~default:0.0 in
+      Hashtbl.replace acc v (prev +. c))
+    terms;
+  let pairs =
+    Hashtbl.fold (fun v c l -> if c <> 0.0 then (v, c) :: l else l) acc []
+  in
+  let pairs = List.sort (fun (a, _) (b, _) -> Int.compare a b) pairs in
+  (Array.of_list (List.map fst pairs), Array.of_list (List.map snd pairs))
+
+(* Mapping of a user variable onto solver columns:
+   - Shifted: one nonnegative column, x = lb + col
+   - Split:   two nonnegative columns, x = col_pos - col_neg (free var) *)
+type col_map = Shifted of int * float | Split of int * int
+
+let solve ?max_pivots t =
+  let infos = vars_array t in
+  let n_user = t.nvars in
+  let mapping = Array.make n_user (Shifted (0, 0.0)) in
+  let next_col = ref 0 in
+  let extra_rows = ref [] in
+  for v = 0 to n_user - 1 do
+    let { lb; ub; _ } = infos.(v) in
+    if lb = neg_infinity then begin
+      let p = !next_col in
+      let m = !next_col + 1 in
+      next_col := !next_col + 2;
+      mapping.(v) <- Split (p, m);
+      if ub < infinity then
+        extra_rows := ([| p; m |], [| 1.0; -1.0 |], Simplex.Le, ub) :: !extra_rows
+    end
+    else begin
+      let c = !next_col in
+      incr next_col;
+      mapping.(v) <- Shifted (c, lb);
+      if ub < infinity then
+        extra_rows := ([| c |], [| 1.0 |], Simplex.Le, ub -. lb) :: !extra_rows
+    end
+  done;
+  let n_cols = !next_col in
+  (* Objective over solver columns; constant offset from lower bounds. *)
+  let obj = Array.make n_cols 0.0 in
+  let obj_const = ref 0.0 in
+  let idx, coef = compact_terms n_user t.obj_terms in
+  let sense = if t.sense_minimize then 1.0 else -1.0 in
+  Array.iteri
+    (fun k v ->
+      let c = coef.(k) *. sense in
+      match mapping.(v) with
+      | Shifted (col, lb) ->
+        obj.(col) <- obj.(col) +. c;
+        obj_const := !obj_const +. (c *. lb)
+      | Split (p, m) ->
+        obj.(p) <- obj.(p) +. c;
+        obj.(m) <- obj.(m) -. c)
+    idx;
+  (* Constraint rows, translated through the column mapping. *)
+  let user_rows = List.rev t.rows in
+  let translate { terms; cmp; rhs; _ } =
+    let idx, coef = compact_terms n_user terms in
+    let cols = ref [] and vals = ref [] in
+    let rhs_shift = ref 0.0 in
+    Array.iteri
+      (fun k v ->
+        let c = coef.(k) in
+        match mapping.(v) with
+        | Shifted (col, lb) ->
+          cols := col :: !cols;
+          vals := c :: !vals;
+          rhs_shift := !rhs_shift +. (c *. lb)
+        | Split (p, m) ->
+          cols := m :: p :: !cols;
+          vals := -.c :: c :: !vals)
+      idx;
+    let cmp = match cmp with Le -> Simplex.Le | Ge -> Simplex.Ge | Eq -> Simplex.Eq in
+    ( Array.of_list (List.rev !cols),
+      Array.of_list (List.rev !vals),
+      cmp,
+      rhs -. !rhs_shift )
+  in
+  let all_rows = List.map translate user_rows @ List.rev !extra_rows in
+  let m = List.length all_rows in
+  let rows = Array.make m ([||], [||]) in
+  let cmps = Array.make m Simplex.Eq in
+  let rhs = Array.make m 0.0 in
+  List.iteri
+    (fun i (ix, cf, c, r) ->
+      rows.(i) <- (ix, cf);
+      cmps.(i) <- c;
+      rhs.(i) <- r)
+    all_rows;
+  let out = Simplex.solve ?max_pivots ~obj ~rows ~cmps ~rhs () in
+  match out.status with
+  | Simplex.Infeasible -> Infeasible
+  | Simplex.Unbounded -> Unbounded
+  | Simplex.Iteration_limit -> Iteration_limit
+  | Simplex.Optimal ->
+    let x = out.x in
+    let value v =
+      if v < 0 || v >= n_user then invalid_arg "solution value: bad var";
+      match mapping.(v) with
+      | Shifted (col, lb) -> lb +. x.(col)
+      | Split (p, mi) -> x.(p) -. x.(mi)
+    in
+    let objective = sense *. (out.objective +. !obj_const) in
+    Optimal { objective; value }
+
+let pp ppf t =
+  let infos = vars_array t in
+  let pp_terms ppf terms =
+    let idx, coef = compact_terms t.nvars terms in
+    if Array.length idx = 0 then Format.fprintf ppf "0"
+    else
+      Array.iteri
+        (fun k v ->
+          let c = coef.(k) in
+          if k = 0 then Format.fprintf ppf "%g %s" c infos.(v).vname
+          else if c >= 0.0 then Format.fprintf ppf " + %g %s" c infos.(v).vname
+          else Format.fprintf ppf " - %g %s" (-.c) infos.(v).vname)
+        idx
+  in
+  Format.fprintf ppf "@[<v>%s: %s %a@,subject to:@,"
+    t.pname
+    (if t.sense_minimize then "minimize" else "maximize")
+    pp_terms t.obj_terms;
+  List.iter
+    (fun { rname; terms; cmp; rhs } ->
+      let op = match cmp with Le -> "<=" | Ge -> ">=" | Eq -> "=" in
+      Format.fprintf ppf "  %s: %a %s %g@," rname pp_terms terms op rhs)
+    (List.rev t.rows);
+  Array.iter
+    (fun { vname; lb; ub } ->
+      if lb <> 0.0 || ub <> infinity then
+        Format.fprintf ppf "  %g <= %s <= %g@," lb vname ub)
+    infos;
+  Format.fprintf ppf "@]"

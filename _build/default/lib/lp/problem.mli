@@ -1,0 +1,65 @@
+(** Linear-program builder.
+
+    Models of the form
+
+    {v  min/max  c . x
+        s.t.     sum_j a_ij x_j  (<= | = | >=)  b_i     for each row i
+                 lb_j <= x_j <= ub_j                     for each var j  v}
+
+    Variables default to [lb = 0], [ub = +inf]. The builder is mutable and
+    append-only; [solve] snapshots it. Duplicate variables inside one term
+    list are summed, so callers may emit terms incrementally. *)
+
+type t
+
+(** Opaque variable handle, valid only for the problem that created it. *)
+type var
+
+type cmp = Le | Ge | Eq
+
+type solution = {
+  objective : float;  (** optimal objective value, in the user's sense *)
+  value : var -> float;  (** value of each variable at the optimum *)
+}
+
+type result =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Iteration_limit  (** solver hit its pivot budget before proving a status *)
+
+val create : ?name:string -> unit -> t
+
+val name : t -> string
+
+(** [var t name] adds a variable. Default bounds [0, +inf).
+    Raises [Invalid_argument] if [lb > ub]. *)
+val var : t -> ?lb:float -> ?ub:float -> string -> var
+
+(** A variable unbounded in both directions. *)
+val free_var : t -> string -> var
+
+(** [constr t terms cmp rhs] adds the row [sum terms cmp rhs]. *)
+val constr : t -> ?name:string -> (float * var) list -> cmp -> float -> unit
+
+(** Set the objective (replacing any previous one). *)
+val minimize : t -> (float * var) list -> unit
+
+val maximize : t -> (float * var) list -> unit
+
+(** [add_objective_term t coef v] adds [coef * v] to the current objective
+    without changing its sense. *)
+val add_objective_term : t -> float -> var -> unit
+
+val num_vars : t -> int
+val num_constraints : t -> int
+
+(** Human-readable variable name (for debugging and error messages). *)
+val var_name : t -> var -> string
+
+(** Solve with the built-in two-phase primal simplex.
+    [max_pivots] defaults to a budget proportional to the problem size. *)
+val solve : ?max_pivots:int -> t -> result
+
+(** Pretty-print a small problem in LP-like text format (tests/debugging). *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,302 @@
+type cmp = Le | Ge | Eq
+
+type status =
+  | Optimal
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+type outcome = {
+  status : status;
+  x : float array;
+  objective : float;
+  pivots : int;
+}
+
+let eps = 1e-9
+let feas_tol = 1e-7
+
+(* Mutable solver state. The tableau stores, for each active row, the full
+   dense row over [width] columns (structural + slack + artificial). Two
+   reduced-cost rows are maintained simultaneously so that phase 2 can start
+   immediately once phase 1 ends. *)
+type state = {
+  m : int;
+  width : int;
+  n_struct : int;
+  n_art : int;  (* artificial columns occupy [width - n_art, width) *)
+  tab : float array array;
+  b : float array;
+  basis : int array;
+  active : bool array;
+  cost1 : float array;  (* phase-1 reduced costs *)
+  cost2 : float array;  (* phase-2 reduced costs *)
+  devex : float array;  (* Devex reference weights for pricing *)
+  mutable obj1 : float;  (* phase-1 objective (sum of artificials) *)
+  mutable obj2 : float;  (* phase-2 objective (c . x) *)
+  mutable pivots : int;
+  mutable degenerate_run : int;
+}
+
+let is_artificial st j = j >= st.width - st.n_art
+
+(* Pivot on (row [ip], column [jp]): normalize the pivot row, eliminate the
+   column from every other active row and from both cost rows. *)
+let pivot st ip jp =
+  let tab = st.tab and b = st.b in
+  let prow = tab.(ip) in
+  let piv = prow.(jp) in
+  let inv = 1.0 /. piv in
+  let width = st.width in
+  for j = 0 to width - 1 do
+    Array.unsafe_set prow j (Array.unsafe_get prow j *. inv)
+  done;
+  prow.(jp) <- 1.0;
+  b.(ip) <- b.(ip) *. inv;
+  let brow = b.(ip) in
+  for i = 0 to st.m - 1 do
+    if i <> ip && st.active.(i) then begin
+      let row = Array.unsafe_get tab i in
+      let factor = Array.unsafe_get row jp in
+      if Float.abs factor > 1e-13 then begin
+        for j = 0 to width - 1 do
+          Array.unsafe_set row j
+            (Array.unsafe_get row j -. (factor *. Array.unsafe_get prow j))
+        done;
+        row.(jp) <- 0.0;
+        b.(i) <- b.(i) -. (factor *. brow);
+        if b.(i) < 0.0 && b.(i) > -1e-11 then b.(i) <- 0.0
+      end
+    end
+  done;
+  let eliminate cost =
+    let factor = cost.(jp) in
+    if Float.abs factor > 1e-13 then begin
+      for j = 0 to width - 1 do
+        Array.unsafe_set cost j
+          (Array.unsafe_get cost j -. (factor *. Array.unsafe_get prow j))
+      done;
+      cost.(jp) <- 0.0
+    end;
+    factor
+  in
+  let f1 = eliminate st.cost1 in
+  st.obj1 <- st.obj1 +. (f1 *. brow);
+  let f2 = eliminate st.cost2 in
+  st.obj2 <- st.obj2 +. (f2 *. brow);
+  (* Devex weight update over the (normalized) pivot row. *)
+  let wq = Float.max st.devex.(jp) 1.0 in
+  for j = 0 to width - 1 do
+    let a = Array.unsafe_get prow j in
+    if a <> 0.0 then begin
+      let cand = a *. a *. wq in
+      if cand > Array.unsafe_get st.devex j then Array.unsafe_set st.devex j cand
+    end
+  done;
+  st.devex.(jp) <- Float.max (wq /. (piv *. piv)) 1.0;
+  (* Reset the reference framework when weights blow up. *)
+  if st.devex.(jp) > 1e10 || wq > 1e10 then Array.fill st.devex 0 width 1.0;
+  st.basis.(ip) <- jp;
+  st.pivots <- st.pivots + 1
+
+(* Entering column: Dantzig (most negative reduced cost), switching to
+   Bland's rule (lowest eligible index) after a long degenerate run.
+   [allow] filters columns (artificials are barred in phase 2). *)
+let entering st cost ~allow =
+  if st.degenerate_run > 100 then begin
+    let rec first j =
+      if j >= st.width then None
+      else if cost.(j) < -.eps && allow j then Some j
+      else first (j + 1)
+    in
+    first 0
+  end
+  else begin
+    (* Devex pricing: maximize d_j^2 / w_j over eligible columns. *)
+    let best = ref (-1) and best_score = ref 0.0 in
+    for j = 0 to st.width - 1 do
+      let c = Array.unsafe_get cost j in
+      if c < -.eps && allow j then begin
+        let score = c *. c /. Array.unsafe_get st.devex j in
+        if score > !best_score then begin
+          best := j;
+          best_score := score
+        end
+      end
+    done;
+    if !best < 0 then None else Some !best
+  end
+
+(* Leaving row for entering column [jp]: minimum ratio test; among near-tied
+   ratios prefer the largest pivot element for numerical stability, breaking
+   remaining ties by smallest basis index (anti-cycling aid). *)
+let leaving st jp =
+  let best = ref (-1) and best_ratio = ref infinity and best_piv = ref 0.0 in
+  for i = 0 to st.m - 1 do
+    if st.active.(i) then begin
+      let a = st.tab.(i).(jp) in
+      if a > eps then begin
+        let ratio = st.b.(i) /. a in
+        let improves =
+          ratio < !best_ratio -. 1e-10
+          || (ratio < !best_ratio +. 1e-10
+              && (a > !best_piv +. 1e-12
+                  || (Float.abs (a -. !best_piv) <= 1e-12
+                      && !best >= 0
+                      && st.basis.(i) < st.basis.(!best))))
+        in
+        if improves then begin
+          best := i;
+          best_ratio := ratio;
+          best_piv := a
+        end
+      end
+    end
+  done;
+  if !best < 0 then None else Some (!best, !best_ratio)
+
+type phase_end = Phase_optimal | Phase_unbounded | Phase_limit
+
+let run_phase st cost ~allow ~max_pivots =
+  let rec loop () =
+    if st.pivots >= max_pivots then Phase_limit
+    else begin
+      match entering st cost ~allow with
+      | None -> Phase_optimal
+      | Some jp -> begin
+          match leaving st jp with
+          | None -> Phase_unbounded
+          | Some (ip, ratio) ->
+            if ratio < 1e-10 then
+              st.degenerate_run <- st.degenerate_run + 1
+            else st.degenerate_run <- 0;
+            pivot st ip jp;
+            loop ()
+        end
+    end
+  in
+  loop ()
+
+(* After phase 1, no artificial variable may remain basic with a nonzero
+   value. Basic artificials at zero are pivoted out on any usable column;
+   if the whole row is zero over real columns the constraint was redundant
+   and the row is deactivated. *)
+let purge_artificials st =
+  for i = 0 to st.m - 1 do
+    if st.active.(i) && is_artificial st st.basis.(i) then begin
+      let row = st.tab.(i) in
+      let jp = ref (-1) in
+      let j = ref 0 in
+      let real_width = st.width - st.n_art in
+      while !jp < 0 && !j < real_width do
+        if Float.abs row.(!j) > 1e-7 then jp := !j;
+        incr j
+      done;
+      if !jp >= 0 then pivot st i !jp else st.active.(i) <- false
+    end
+  done
+
+let solve ?max_pivots ~obj ~rows ~cmps ~rhs () =
+  let n = Array.length obj in
+  let m = Array.length rows in
+  if Array.length cmps <> m || Array.length rhs <> m then
+    invalid_arg "Simplex.solve: rows/cmps/rhs length mismatch";
+  (* Normalize every row: scale by max |coeff|, then flip sign so rhs >= 0. *)
+  let scaled_rows = Array.make m ([||], [||]) in
+  let cmps = Array.copy cmps in
+  let b0 = Array.copy rhs in
+  let n_slack = ref 0 in
+  for i = 0 to m - 1 do
+    let idx, coef = rows.(i) in
+    let coef = Array.copy coef in
+    let scale = Array.fold_left (fun a c -> Float.max a (Float.abs c)) 0.0 coef in
+    let scale = if scale > 0.0 then scale else 1.0 in
+    let flip = b0.(i) /. scale < 0.0 in
+    let k = if flip then -1.0 /. scale else 1.0 /. scale in
+    Array.iteri (fun t c -> coef.(t) <- c *. k) coef;
+    b0.(i) <- b0.(i) *. k;
+    if flip then
+      cmps.(i) <- (match cmps.(i) with Le -> Ge | Ge -> Le | Eq -> Eq);
+    scaled_rows.(i) <- (idx, coef);
+    (match cmps.(i) with Le | Ge -> incr n_slack | Eq -> ())
+  done;
+  (* A row needs an artificial unless its (+1) slack can start basic. *)
+  let needs_art = Array.map (fun c -> c <> Le) cmps in
+  let n_art = Array.fold_left (fun a v -> if v then a + 1 else a) 0 needs_art in
+  let width = n + !n_slack + n_art in
+  let st =
+    {
+      m;
+      width;
+      n_struct = n;
+      n_art;
+      tab = Array.init m (fun _ -> Array.make width 0.0);
+      b = b0;
+      basis = Array.make m (-1);
+      active = Array.make m true;
+      cost1 = Array.make width 0.0;
+      cost2 = Array.make width 0.0;
+      devex = Array.make width 1.0;
+      obj1 = 0.0;
+      obj2 = 0.0;
+      pivots = 0;
+      degenerate_run = 0;
+    }
+  in
+  Array.blit obj 0 st.cost2 0 n;
+  let next_slack = ref n and next_art = ref (n + !n_slack) in
+  for i = 0 to m - 1 do
+    let idx, coef = scaled_rows.(i) in
+    let row = st.tab.(i) in
+    Array.iteri (fun t j -> row.(j) <- row.(j) +. coef.(t)) idx;
+    (match cmps.(i) with
+    | Le ->
+      row.(!next_slack) <- 1.0;
+      st.basis.(i) <- !next_slack;
+      incr next_slack
+    | Ge ->
+      row.(!next_slack) <- -1.0;
+      incr next_slack
+    | Eq -> ());
+    if needs_art.(i) then begin
+      row.(!next_art) <- 1.0;
+      st.basis.(i) <- !next_art;
+      (* Phase-1 reduced costs: c1_j - (row sums over artificial rows). *)
+      for j = 0 to width - 1 do
+        if j <> !next_art then st.cost1.(j) <- st.cost1.(j) -. row.(j)
+      done;
+      st.obj1 <- st.obj1 +. st.b.(i);
+      incr next_art
+    end
+  done;
+  let max_pivots =
+    match max_pivots with Some k -> k | None -> Int.max 100_000 (40 * (m + n))
+  in
+  let allow_all _ = true in
+  let fail status = { status; x = Array.make n 0.0; objective = 0.0; pivots = st.pivots } in
+  let phase1 =
+    if n_art = 0 then Phase_optimal
+    else run_phase st st.cost1 ~allow:allow_all ~max_pivots
+  in
+  match phase1 with
+  | Phase_limit -> fail Iteration_limit
+  | Phase_unbounded ->
+    (* Phase-1 objective is bounded below by 0; cannot be unbounded. *)
+    fail Infeasible
+  | Phase_optimal ->
+    if st.obj1 > feas_tol then fail Infeasible
+    else begin
+      purge_artificials st;
+      st.degenerate_run <- 0;
+      let allow j = not (is_artificial st j) in
+      match run_phase st st.cost2 ~allow ~max_pivots with
+      | Phase_limit -> fail Iteration_limit
+      | Phase_unbounded -> fail Unbounded
+      | Phase_optimal ->
+        let x = Array.make n 0.0 in
+        for i = 0 to m - 1 do
+          if st.active.(i) && st.basis.(i) < n then x.(st.basis.(i)) <- st.b.(i)
+        done;
+        let objective = Array.fold_left ( +. ) 0.0 (Array.mapi (fun j c -> c *. x.(j)) obj) in
+        { status = Optimal; x; objective; pivots = st.pivots }
+    end

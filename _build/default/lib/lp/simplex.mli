@@ -1,0 +1,38 @@
+(** Dense two-phase primal simplex over standard nonnegative variables.
+
+    This is the numerical core under {!Problem}; it solves
+
+    {v  min c . x   s.t.  A x (<= | = | >=) b,   x >= 0  v}
+
+    Phase 1 drives artificial variables to zero starting from a slack basis;
+    phase 2 optimizes the true objective. Dantzig pricing with a Bland
+    fallback after a run of degenerate pivots provides anti-cycling. Rows are
+    equilibrated (scaled by their max absolute coefficient) for numerical
+    robustness. *)
+
+type cmp = Le | Ge | Eq
+
+type status =
+  | Optimal
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+type outcome = {
+  status : status;
+  x : float array;  (** primal values (length = num variables); zeros unless [Optimal] *)
+  objective : float;  (** c . x at termination *)
+  pivots : int;  (** total pivot count across both phases *)
+}
+
+(** [solve ~obj ~rows ~cmps ~rhs] where [rows.(i)] is the sparse row
+    [(indices, coefficients)] of constraint [i]. All variable indices must
+    be in [0, Array.length obj). [max_pivots] caps total pivots. *)
+val solve :
+  ?max_pivots:int ->
+  obj:float array ->
+  rows:(int array * float array) array ->
+  cmps:cmp array ->
+  rhs:float array ->
+  unit ->
+  outcome

@@ -1,0 +1,1 @@
+lib/mcf/concurrent_flow.ml: Array Float Hashtbl List Option Printf R3_lp R3_net

@@ -1,0 +1,1 @@
+lib/mcf/concurrent_flow.mli: R3_net Stdlib

@@ -1,0 +1,52 @@
+(** Approximate maximum concurrent flow / minimum MLU.
+
+    Garg–Könemann / Fleischer multiplicative-weights FPTAS: repeatedly route
+    each commodity along its current shortest path under exponential link
+    lengths. The maximum concurrent throughput λ* satisfies
+    [min-MLU = 1 / λ*], so this gives a (1+ε)-approximate optimal MLU — the
+    "optimal flow-based routing" normalizer that the paper's performance
+    ratio divides by, computed once per failure scenario. An exact LP per
+    scenario would be prohibitively slow at that cadence (DESIGN.md §5). *)
+
+type result = {
+  mlu : float;  (** approximately optimal maximum link utilization *)
+  iterations : int;  (** shortest-path computations performed *)
+}
+
+(** [min_mlu g ?failed ?epsilon ~pairs ~demands ()] ignores commodities made
+    unreachable by [failed] (as the paper's optimal baseline does after a
+    partition). [epsilon] defaults to 0.05. Returns [mlu = 0] when no
+    demand is routable. *)
+val min_mlu :
+  R3_net.Graph.t ->
+  ?failed:R3_net.Graph.link_set ->
+  ?epsilon:float ->
+  pairs:(R3_net.Graph.node * R3_net.Graph.node) array ->
+  demands:float array ->
+  unit ->
+  result
+
+(** As {!min_mlu}, additionally extracting the (1+ε)-optimal fractional
+    routing accumulated by the algorithm — a cheap near-optimal flow-based
+    base routing (used as the MPLS-ff base where the joint LP (7) exceeds
+    the simplex's practical range; see DESIGN.md §5). Unreachable or
+    zero-demand commodities get all-zero rows. *)
+val min_mlu_routing :
+  R3_net.Graph.t ->
+  ?failed:R3_net.Graph.link_set ->
+  ?epsilon:float ->
+  pairs:(R3_net.Graph.node * R3_net.Graph.node) array ->
+  demands:float array ->
+  unit ->
+  result * R3_net.Routing.t
+
+(** Exact min-MLU via the LP substrate (routing variables per commodity).
+    Exponentially cleaner reference for tests and for small instances;
+    do not call on large topologies. *)
+val min_mlu_exact :
+  R3_net.Graph.t ->
+  ?failed:R3_net.Graph.link_set ->
+  pairs:(R3_net.Graph.node * R3_net.Graph.node) array ->
+  demands:float array ->
+  unit ->
+  (float * R3_net.Routing.t, string) Stdlib.result

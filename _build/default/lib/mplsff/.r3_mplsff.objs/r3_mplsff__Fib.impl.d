@@ -1,0 +1,1 @@
+lib/mplsff/fib.ml: Array Hashtbl Int List R3_net

@@ -1,0 +1,1 @@
+lib/mplsff/fib.mli: Hashtbl R3_net

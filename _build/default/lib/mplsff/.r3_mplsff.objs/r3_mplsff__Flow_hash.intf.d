@@ -1,0 +1,1 @@
+lib/mplsff/flow_hash.mli:

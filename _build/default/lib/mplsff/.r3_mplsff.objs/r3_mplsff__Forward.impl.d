@@ -1,0 +1,1 @@
+lib/mplsff/forward.ml: Array Fib Flow_hash Hashtbl Int List R3_net R3_util

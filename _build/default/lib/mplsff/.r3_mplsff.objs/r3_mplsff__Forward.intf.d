@@ -1,0 +1,1 @@
+lib/mplsff/forward.mli: Fib Flow_hash Hashtbl R3_net R3_util

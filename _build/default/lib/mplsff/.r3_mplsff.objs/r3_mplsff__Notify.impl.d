@@ -1,0 +1,1 @@
+lib/mplsff/notify.ml: Array Float R3_net

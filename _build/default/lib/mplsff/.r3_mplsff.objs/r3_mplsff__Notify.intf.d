@@ -1,0 +1,1 @@
+lib/mplsff/notify.mli: R3_net

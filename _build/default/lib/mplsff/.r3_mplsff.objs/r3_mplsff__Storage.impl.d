@@ -1,0 +1,1 @@
+lib/mplsff/storage.ml: Fib Format Printf R3_net

@@ -1,0 +1,1 @@
+lib/mplsff/storage.mli: Fib Format R3_net

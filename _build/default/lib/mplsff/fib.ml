@@ -1,0 +1,61 @@
+module G = R3_net.Graph
+module Routing = R3_net.Routing
+
+type nhlfe = { out_link : G.link; ratio : float }
+
+type fwd = { label : int; nhlfes : nhlfe array }
+
+type router_fib = { router : G.node; ilm : (int, fwd) Hashtbl.t }
+
+type t = {
+  graph : G.t;
+  fibs : router_fib array;
+  protected_links : G.link array;
+}
+
+let label_base = 100
+
+let label_of_link e = label_base + e
+
+let link_of_label l = l - label_base
+
+let of_protection g p =
+  if Array.length p.Routing.pairs <> G.num_links g then
+    invalid_arg "Fib.of_protection: protection must cover every link";
+  let n = G.num_nodes g in
+  let fibs = Array.init n (fun router -> { router; ilm = Hashtbl.create 16 }) in
+  let m = G.num_links g in
+  for l = 0 to m - 1 do
+    let row = p.Routing.frac.(l) in
+    let label = label_of_link l in
+    for v = 0 to n - 1 do
+      (* Ratios over outgoing links; at the protected link's head the link
+         itself is excluded (it is the one being bypassed). *)
+      let candidates =
+        Array.to_list (G.out_links g v)
+        |> List.filter (fun e -> e <> l && row.(e) > 1e-12)
+      in
+      let total = List.fold_left (fun a e -> a +. row.(e)) 0.0 candidates in
+      if total > 1e-12 then begin
+        let nhlfes =
+          candidates
+          |> List.map (fun e -> { out_link = e; ratio = row.(e) /. total })
+          |> Array.of_list
+        in
+        Hashtbl.replace fibs.(v).ilm label { label; nhlfes }
+      end
+    done
+  done;
+  { graph = g; fibs; protected_links = Array.init m (fun e -> e) }
+
+let update t p = of_protection t.graph p
+
+let max_table_sizes t =
+  Array.fold_left
+    (fun (best_ilm, best_nh) fib ->
+      let ilm = Hashtbl.length fib.ilm in
+      let nh =
+        Hashtbl.fold (fun _ fwd acc -> acc + Array.length fwd.nhlfes) fib.ilm 0
+      in
+      (Int.max best_ilm ilm, Int.max best_nh nh))
+    (0, 0) t.fibs

@@ -1,0 +1,47 @@
+(** MPLS-ff forwarding information base (Section 4.2).
+
+    Standard MPLS maps an incoming label through the ILM to a single
+    forwarding instruction. MPLS-ff extends the FWD instruction to hold
+    {e multiple} NHLFEs, each with a next-hop splitting ratio; a router
+    hashes each flow onto one NHLFE. One protection label is allocated per
+    protected link, network-wide; the label's NHLFE ratios at router [v]
+    encode [p_l(v, j)]. *)
+
+type nhlfe = {
+  out_link : R3_net.Graph.link;
+  ratio : float;  (** next-hop splitting ratio, normalized per router *)
+}
+
+type fwd = { label : int; nhlfes : nhlfe array }
+
+type router_fib = {
+  router : R3_net.Graph.node;
+  ilm : (int, fwd) Hashtbl.t;  (** incoming label map *)
+}
+
+type t = {
+  graph : R3_net.Graph.t;
+  fibs : router_fib array;  (** indexed by router id *)
+  protected_links : R3_net.Graph.link array;
+}
+
+(** Protection label of a link (stable, network-wide). *)
+val label_of_link : R3_net.Graph.link -> int
+
+val link_of_label : int -> R3_net.Graph.link
+
+(** Build all routers' ILM/NHLFE state from a protection routing: at every
+    router on [p_l]'s support (plus the head of [l]), install the label of
+    [l] with per-next-hop ratios proportional to [p_l(v, j)], excluding the
+    protected link itself at its head (the paper's
+    [p_l(i,j) / sum_{j'} p_l(i,j')] with [(i,j') <> l]). Links whose
+    protection routes entirely over themselves (stubs) get no entries. *)
+val of_protection : R3_net.Graph.t -> R3_net.Routing.t -> t
+
+(** Re-derive ratios after failures from a reconfigured protection routing
+    (what routers do locally after each notification). *)
+val update : t -> R3_net.Routing.t -> t
+
+(** Total entries across routers: [(ilm_entries, nhlfe_entries)] of the
+    router with the largest tables — the per-router figure of Table 3. *)
+val max_table_sizes : t -> int * int

@@ -1,0 +1,34 @@
+type flow = { src_ip : int; dst_ip : int; src_port : int; dst_port : int }
+
+let mix64 z =
+  let z = Int64.of_int z in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  Int64.to_int (Int64.shift_right_logical (Int64.logxor z (Int64.shift_right_logical z 33)) 2)
+
+let router_salt ~seed ~router =
+  (mix64 ((seed * 1_000_003) + router), mix64 ((router * 69_069) + seed + 7))
+
+let hash6 ~salt flow =
+  let s1, s2 = salt in
+  let h =
+    mix64
+      (flow.src_ip lxor mix64 (flow.dst_ip + s1)
+      lxor mix64 ((flow.src_port * 65_537) + flow.dst_port + s2))
+  in
+  h land 63
+
+let pick ~salt flow weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Flow_hash.pick: no weights";
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Flow_hash.pick: zero weights";
+  let h = float_of_int (hash6 ~salt flow) /. 64.0 *. total in
+  let rec find i acc =
+    if i = n - 1 then i
+    else begin
+      let acc = acc +. weights.(i) in
+      if h < acc then i else find (i + 1) acc
+    end
+  in
+  find 0 0.0

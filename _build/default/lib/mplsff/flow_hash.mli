@@ -1,0 +1,28 @@
+(** Per-flow consistent hashing for next-hop selection (Section 4.2).
+
+    Two properties required by the paper:
+    - packets of the same flow hash identically at the same router (no
+      reordering);
+    - hashes of one flow at different routers are independent (a 96-bit
+      router-private salt enters the hash), so splits do not skew
+      downstream. The output is a 6-bit integer, as in the prototype. *)
+
+type flow = {
+  src_ip : int;
+  dst_ip : int;
+  src_port : int;
+  dst_port : int;
+}
+
+(** Deterministic 96-bit-equivalent router salt derived from the router id
+    and a network-wide seed. *)
+val router_salt : seed:int -> router:int -> int * int
+
+(** [hash6 ~salt flow] in [0, 64). *)
+val hash6 : salt:int * int -> flow -> int
+
+(** Pick an index from cumulative split weights: [pick ~salt flow weights]
+    returns the NHLFE index selected by the flow's hash, distributing flows
+    across indices proportionally to [weights]. Raises [Invalid_argument]
+    on an empty or all-zero weight vector. *)
+val pick : salt:int * int -> flow -> float array -> int

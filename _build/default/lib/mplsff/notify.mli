@@ -1,0 +1,33 @@
+(** Failure detection and notification flooding (Section 4.3).
+
+    A failure is detected at the failed link's head by layer-2 interface
+    monitoring after [detection_ms]; the notification (ICMP type 42 in the
+    prototype) floods over surviving links, taking per-link propagation
+    delay plus [per_hop_ms] processing. Routers rescale their local [p]
+    on arrival; Theorem 3 makes the arrival order irrelevant. *)
+
+type config = {
+  detection_ms : float;  (** layer-2 detection latency (default 30 ms) *)
+  per_hop_ms : float;  (** per-router flooding overhead (default 1 ms) *)
+}
+
+val default_config : config
+
+(** [arrival_times ?config g ~failed ~link] gives, per router, the absolute
+    time (ms, from the failure instant) at which the notification for
+    [link] arrives; [infinity] for routers partitioned from the detector.
+    The head router itself gets [detection_ms]. *)
+val arrival_times :
+  ?config:config ->
+  R3_net.Graph.t ->
+  failed:R3_net.Graph.link_set ->
+  link:R3_net.Graph.link ->
+  float array
+
+(** Time by which every (reachable) router has been notified. *)
+val convergence_time :
+  ?config:config ->
+  R3_net.Graph.t ->
+  failed:R3_net.Graph.link_set ->
+  link:R3_net.Graph.link ->
+  float

@@ -1,0 +1,1 @@
+lib/net/flow_decompose.ml: Array Float Format Graph List Routing

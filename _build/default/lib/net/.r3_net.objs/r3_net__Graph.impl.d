@@ -1,0 +1,1 @@
+lib/net/graph.ml: Array Format Hashtbl List Option Printf

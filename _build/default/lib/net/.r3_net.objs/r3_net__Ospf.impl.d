@@ -1,0 +1,1 @@
+lib/net/ospf.ml: Array Float Graph Hashtbl List Option Routing Spf

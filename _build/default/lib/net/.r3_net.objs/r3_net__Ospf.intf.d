@@ -1,0 +1,1 @@
+lib/net/ospf.mli: Graph Routing

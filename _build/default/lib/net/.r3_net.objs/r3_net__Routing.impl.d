@@ -1,0 +1,1 @@
+lib/net/routing.ml: Array Float Graph Printf

@@ -1,0 +1,1 @@
+lib/net/spf.ml: Array Float Graph List

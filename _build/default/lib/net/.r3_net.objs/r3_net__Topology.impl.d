@@ -1,0 +1,1 @@
+lib/net/topology.ml: Array Float Graph Hashtbl Int List Printf R3_util

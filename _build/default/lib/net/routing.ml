@@ -1,0 +1,128 @@
+type t = {
+  pairs : (Graph.node * Graph.node) array;
+  frac : float array array;
+}
+
+let create g ~pairs =
+  let m = Graph.num_links g in
+  { pairs; frac = Array.init (Array.length pairs) (fun _ -> Array.make m 0.0) }
+
+let num_commodities t = Array.length t.pairs
+
+let copy t = { pairs = Array.copy t.pairs; frac = Array.map Array.copy t.frac }
+
+let validate g ?(tol = 1e-6) ?failed ?(partial = false) t =
+  let failed = match failed with Some f -> f | None -> Graph.no_failures g in
+  let m = Graph.num_links g in
+  let n = Graph.num_nodes g in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let check_commodity k =
+    let a, b = t.pairs.(k) in
+    let row = t.frac.(k) in
+    if Array.length row <> m then err "commodity %d: row length mismatch" k
+    else begin
+      let bad = ref None in
+      for e = 0 to m - 1 do
+        if !bad = None then begin
+          if row.(e) < -.tol || row.(e) > 1.0 +. tol then
+            bad := Some (Printf.sprintf "commodity %d: frac %g on link %d outside [0,1]" k row.(e) e)
+          else if failed.(e) && row.(e) > tol then
+            bad := Some (Printf.sprintf "commodity %d: flow %g on failed link %d" k row.(e) e)
+        end
+      done;
+      match !bad with
+      | Some msg -> Error msg
+      | None ->
+        let inflow = Array.make n 0.0 and outflow = Array.make n 0.0 in
+        for e = 0 to m - 1 do
+          inflow.(Graph.dst g e) <- inflow.(Graph.dst g e) +. row.(e);
+          outflow.(Graph.src g e) <- outflow.(Graph.src g e) +. row.(e)
+        done;
+        (* [R3]: nothing returns to the source. *)
+        if inflow.(a) > tol then
+          err "commodity %d (%d->%d): flow %g returns to source" k a b inflow.(a)
+        else begin
+          (* [R2]: the source emits 1 (or 0 when partial routing allowed). *)
+          let emitted = outflow.(a) in
+          let total_ok =
+            Float.abs (emitted -. 1.0) <= tol || (partial && Float.abs emitted <= tol)
+          in
+          if not total_ok then
+            err "commodity %d (%d->%d): source emits %g, expected 1" k a b emitted
+          else begin
+            (* [R1]: conservation at intermediate nodes. *)
+            let violation = ref None in
+            for v = 0 to n - 1 do
+              if v <> a && v <> b && !violation = None then
+                if Float.abs (inflow.(v) -. outflow.(v)) > tol then
+                  violation :=
+                    Some
+                      (Printf.sprintf
+                         "commodity %d (%d->%d): conservation violated at node %d (in %g, out %g)"
+                         k a b v inflow.(v) outflow.(v))
+            done;
+            match !violation with Some msg -> Error msg | None -> Ok ()
+          end
+        end
+    end
+  in
+  let rec check k =
+    if k >= num_commodities t then Ok ()
+    else match check_commodity k with Ok () -> check (k + 1) | Error _ as e -> e
+  in
+  check 0
+
+let add_loads g ~demands t ~into =
+  let m = Graph.num_links g in
+  if Array.length into <> m then invalid_arg "Routing.add_loads: bad accumulator";
+  if Array.length demands <> num_commodities t then
+    invalid_arg "Routing.add_loads: demands length mismatch";
+  Array.iteri
+    (fun k d ->
+      if d <> 0.0 then begin
+        let row = t.frac.(k) in
+        for e = 0 to m - 1 do
+          into.(e) <- into.(e) +. (d *. Array.unsafe_get row e)
+        done
+      end)
+    demands
+
+let loads g ~demands t =
+  let acc = Array.make (Graph.num_links g) 0.0 in
+  add_loads g ~demands t ~into:acc;
+  acc
+
+let mlu g ~loads =
+  let u = ref 0.0 in
+  for e = 0 to Graph.num_links g - 1 do
+    let x = loads.(e) /. Graph.capacity g e in
+    if x > !u then u := x
+  done;
+  !u
+
+let bottleneck g ~loads =
+  let best = ref 0 and best_u = ref neg_infinity in
+  for e = 0 to Graph.num_links g - 1 do
+    let x = loads.(e) /. Graph.capacity g e in
+    if x > !best_u then begin
+      best := e;
+      best_u := x
+    end
+  done;
+  !best
+
+let mean_delay g t k =
+  let row = t.frac.(k) in
+  let acc = ref 0.0 in
+  for e = 0 to Graph.num_links g - 1 do
+    acc := !acc +. (row.(e) *. Graph.delay g e)
+  done;
+  !acc
+
+let delivered g t k =
+  let _, b = t.pairs.(k) in
+  let row = t.frac.(k) in
+  let inflow = ref 0.0 and outflow = ref 0.0 in
+  Array.iter (fun e -> inflow := !inflow +. row.(e)) (Graph.in_links g b);
+  Array.iter (fun e -> outflow := !outflow +. row.(e)) (Graph.out_links g b);
+  !inflow -. !outflow

@@ -1,0 +1,55 @@
+(** Flow representation of routing (Section 2 of the paper).
+
+    A routing assigns, for each commodity [k] (an OD pair for the base
+    routing [r], a protected link for the protection routing [p]), the
+    fraction [frac k e] of the commodity's traffic crossing each directed
+    link [e]. Validity is conditions [R1]–[R4] of equation (1). *)
+
+type t = {
+  pairs : (Graph.node * Graph.node) array;  (** commodity k -> (origin, tail) *)
+  frac : float array array;  (** [frac.(k).(e)] in [0,1] *)
+}
+
+(** All-zero routing for the given commodities. *)
+val create : Graph.t -> pairs:(Graph.node * Graph.node) array -> t
+
+val num_commodities : t -> int
+
+(** Deep copy. *)
+val copy : t -> t
+
+(** [validate g ?tol ?failed ?partial t] checks [R1]–[R4] for every
+    commodity and additionally that no flow crosses a failed link. When
+    [partial] is true, commodities are also allowed to route {e none} of
+    their traffic (all-zero rows) — the state R3 reaches when a partition
+    removes reachability. Returns a human-readable error for the first
+    violated condition. *)
+val validate :
+  Graph.t ->
+  ?tol:float ->
+  ?failed:Graph.link_set ->
+  ?partial:bool ->
+  t ->
+  (unit, string) result
+
+(** [loads g ~demands t] sums [demands.(k) *. frac.(k).(e)] per link.
+    [demands] must be parallel to [t.pairs]. *)
+val loads : Graph.t -> demands:float array -> t -> float array
+
+(** Add [loads] of this routing into an accumulator array. *)
+val add_loads : Graph.t -> demands:float array -> t -> into:float array -> unit
+
+(** Maximum link utilization given per-link loads. *)
+val mlu : Graph.t -> loads:float array -> float
+
+(** The link attaining the MLU (lowest id on ties). *)
+val bottleneck : Graph.t -> loads:float array -> Graph.link
+
+(** Expected end-to-end propagation delay of commodity [k] under the
+    routing: [sum_e frac.(k).(e) * delay e]. *)
+val mean_delay : Graph.t -> t -> int -> float
+
+(** Per-commodity delivered fraction at the destination: 1 for a valid
+    total routing, less when the commodity is partially dropped. Computed
+    as net flow into the destination. *)
+val delivered : Graph.t -> t -> int -> float

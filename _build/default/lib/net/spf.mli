@@ -1,0 +1,29 @@
+(** Shortest-path first (Dijkstra) over link weights, failure-aware. *)
+
+(** [distances g ?failed ~weights ~src] returns per-node distance from
+    [src]; unreachable nodes get [infinity]. [weights] is per-link and must
+    be positive. *)
+val distances :
+  Graph.t -> ?failed:Graph.link_set -> weights:float array -> src:Graph.node -> unit
+  -> float array
+
+(** Distances {e to} [dst] (Dijkstra on the reversed graph). *)
+val distances_to :
+  Graph.t -> ?failed:Graph.link_set -> weights:float array -> dst:Graph.node -> unit
+  -> float array
+
+(** One shortest path as a link list, or [None] if unreachable.
+    Deterministic tie-breaking by lowest link id. *)
+val shortest_path :
+  Graph.t ->
+  ?failed:Graph.link_set ->
+  weights:float array ->
+  src:Graph.node ->
+  dst:Graph.node ->
+  unit ->
+  Graph.link list option
+
+(** Smallest end-to-end propagation delay between two nodes (uses link
+    delays as weights); [infinity] if unreachable. *)
+val min_propagation_delay :
+  Graph.t -> ?failed:Graph.link_set -> src:Graph.node -> dst:Graph.node -> unit -> float

@@ -1,0 +1,235 @@
+type named = { tag : string; description : string; graph : Graph.t }
+
+(* Expand undirected (a, b, cap, delay) specs into both directed links. *)
+let bidir specs =
+  Array.of_list
+    (List.concat_map (fun (a, b, cap, d) -> [ (a, b, cap, d); (b, a, cap, d) ]) specs)
+
+let abilene () =
+  let names =
+    [|
+      "Seattle"; "Sunnyvale"; "LosAngeles"; "Denver"; "KansasCity"; "Houston";
+      "Chicago"; "Indianapolis"; "Atlanta"; "Washington"; "NewYork";
+    |]
+  in
+  let cap = 100.0 (* Mbps; Emulab scale-down used in the paper's testbed *) in
+  let links =
+    bidir
+      [
+        (0, 1, cap, 5.5);   (* Seattle - Sunnyvale *)
+        (0, 3, cap, 8.2);   (* Seattle - Denver *)
+        (1, 2, cap, 2.9);   (* Sunnyvale - LosAngeles *)
+        (1, 3, cap, 6.4);   (* Sunnyvale - Denver *)
+        (2, 5, cap, 11.0);  (* LosAngeles - Houston *)
+        (3, 4, cap, 4.5);   (* Denver - KansasCity *)
+        (4, 5, cap, 5.8);   (* KansasCity - Houston *)
+        (4, 7, cap, 3.9);   (* KansasCity - Indianapolis *)
+        (5, 8, cap, 7.1);   (* Houston - Atlanta *)
+        (6, 7, cap, 1.8);   (* Chicago - Indianapolis *)
+        (6, 10, cap, 5.9);  (* Chicago - NewYork *)
+        (7, 8, cap, 4.3);   (* Indianapolis - Atlanta *)
+        (8, 9, cap, 4.8);   (* Atlanta - Washington *)
+        (9, 10, cap, 2.1);  (* Washington - NewYork *)
+      ]
+  in
+  Graph.create ~node_names:names ~links
+
+let draw_capacity rng capacities =
+  let total = List.fold_left (fun a (_, w) -> a +. w) 0.0 capacities in
+  let x = R3_util.Prng.float rng total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Topology.random: empty capacity list"
+    | [ (c, _) ] -> c
+    | (c, w) :: rest -> if x < acc +. w then c else pick (acc +. w) rest
+  in
+  pick 0.0 capacities
+
+let random ~seed ~nodes ~undirected_links ~capacities () =
+  if nodes < 2 then invalid_arg "Topology.random: need at least 2 nodes";
+  if undirected_links < nodes - 1 then
+    invalid_arg "Topology.random: not enough links for connectivity";
+  if undirected_links > nodes * (nodes - 1) / 2 then
+    invalid_arg "Topology.random: more links than node pairs";
+  let rng = R3_util.Prng.create seed in
+  let xs = Array.init nodes (fun _ -> R3_util.Prng.float rng 4000.0) in
+  let ys = Array.init nodes (fun _ -> R3_util.Prng.float rng 2500.0) in
+  let dist a b = sqrt (((xs.(a) -. xs.(b)) ** 2.0) +. ((ys.(a) -. ys.(b)) ** 2.0)) in
+  let edge_set = Hashtbl.create (4 * undirected_links) in
+  let edges = ref [] and n_edges = ref 0 in
+  let degree = Array.make nodes 0 in
+  let add a b =
+    let key = (Int.min a b * nodes) + Int.max a b in
+    if a <> b && not (Hashtbl.mem edge_set key) then begin
+      Hashtbl.add edge_set key ();
+      edges := (a, b) :: !edges;
+      incr n_edges;
+      degree.(a) <- degree.(a) + 1;
+      degree.(b) <- degree.(b) + 1;
+      true
+    end
+    else false
+  in
+  (* Spanning tree: attach each node to the closest of three random already-
+     connected candidates, giving geography-respecting trees. *)
+  for v = 1 to nodes - 1 do
+    let best = ref (R3_util.Prng.int rng v) in
+    for _ = 1 to 2 do
+      let c = R3_util.Prng.int rng v in
+      if dist v c < dist v !best then best := c
+    done;
+    ignore (add v !best)
+  done;
+  (* The paper merges Rocketfuel leaf nodes until none has degree one; PoP
+     backbones end up with degree >= 3 cores. Raise deficient nodes first
+     (closest non-adjacent peer), budget permitting. *)
+  let target_min_degree = if undirected_links * 2 >= 3 * nodes then 3 else 2 in
+  let deficient () =
+    let worst = ref (-1) in
+    for v = 0 to nodes - 1 do
+      if degree.(v) < target_min_degree
+         && (!worst < 0 || degree.(v) < degree.(!worst))
+      then worst := v
+    done;
+    !worst
+  in
+  let rec raise_degrees guard =
+    if guard > 0 && !n_edges < undirected_links then begin
+      let v = deficient () in
+      if v >= 0 then begin
+        let best = ref (-1) in
+        for u = 0 to nodes - 1 do
+          let key = (Int.min u v * nodes) + Int.max u v in
+          if u <> v && not (Hashtbl.mem edge_set key) then
+            if !best < 0 || dist v u < dist v !best then best := u
+        done;
+        if !best >= 0 then ignore (add v !best);
+        raise_degrees (guard - 1)
+      end
+    end
+  in
+  raise_degrees (4 * nodes);
+  (* Extra links: candidates biased toward high-degree nodes (hub-and-spoke
+     PoP structure) and shorter distances. *)
+  while !n_edges < undirected_links do
+    let pick_endpoint () =
+      if R3_util.Prng.bool rng 0.6 then begin
+        (* degree-biased *)
+        let total = Array.fold_left ( + ) 0 degree in
+        let x = R3_util.Prng.int rng (Int.max 1 total) in
+        let acc = ref 0 and chosen = ref 0 in
+        Array.iteri
+          (fun v d ->
+            if !acc <= x then begin
+              chosen := v;
+              acc := !acc + d
+            end)
+          degree;
+        !chosen
+      end
+      else R3_util.Prng.int rng nodes
+    in
+    let a = pick_endpoint () in
+    let b = ref (R3_util.Prng.int rng nodes) in
+    for _ = 1 to 2 do
+      let c = R3_util.Prng.int rng nodes in
+      if c <> a && dist a c < dist a !b then b := c
+    done;
+    ignore (add a !b)
+  done;
+  let specs =
+    List.rev_map
+      (fun (a, b) ->
+        let cap = draw_capacity rng capacities in
+        let d = Float.max 0.5 (dist a b /. 200.0) in
+        (a, b, cap, d))
+      !edges
+  in
+  let names = Array.init nodes (Printf.sprintf "n%d") in
+  Graph.create ~node_names:names ~links:(bidir specs)
+
+let oc192 = 10_000.0
+
+let level3_like () =
+  random ~seed:1003 ~nodes:17 ~undirected_links:36 ~capacities:[ (oc192, 1.0) ] ()
+
+let sbc_like () =
+  random ~seed:1019 ~nodes:19 ~undirected_links:35 ~capacities:[ (oc192, 1.0) ] ()
+
+let uunet_like () =
+  random ~seed:1047 ~nodes:47 ~undirected_links:168 ~capacities:[ (oc192, 1.0) ] ()
+
+let generated () =
+  random ~seed:1100 ~nodes:100 ~undirected_links:230 ~capacities:[ (oc192, 1.0) ] ()
+
+(* The paper withholds US-ISP's size ("-" in Table 1). We size the stand-in
+   so that the offline LP stays within the from-scratch simplex's range
+   (DESIGN.md §5) while keeping heterogeneous PoP-like capacities. *)
+let usisp_like () =
+  random ~seed:77 ~nodes:14 ~undirected_links:24 ~capacities:[ (10_000.0, 1.0) ] ()
+
+let catalog () =
+  [
+    { tag = "abilene"; description = "Abilene backbone 2006 (router-level)"; graph = abilene () };
+    { tag = "level3"; description = "Level-3-like PoP topology (synthetic)"; graph = level3_like () };
+    { tag = "sbc"; description = "SBC-like PoP topology (synthetic)"; graph = sbc_like () };
+    { tag = "uunet"; description = "UUNet-like PoP topology (synthetic)"; graph = uunet_like () };
+    { tag = "generated"; description = "GT-ITM-style generated backbone (synthetic)"; graph = generated () };
+    { tag = "usisp"; description = "US-ISP-like PoP topology (synthetic stand-in)"; graph = usisp_like () };
+  ]
+
+let find tag = List.find_opt (fun n -> n.tag = tag) (catalog ())
+
+let parallel_links ~capacities =
+  let links =
+    List.concat_map
+      (fun c -> [ (0, 1, c, 1.0); (1, 0, c, 1.0) ])
+      capacities
+  in
+  Graph.create ~node_names:[| "i"; "j" |] ~links:(Array.of_list links)
+
+let triangle () =
+  Graph.create ~node_names:[| "a"; "b"; "c" |]
+    ~links:(bidir [ (0, 1, 10.0, 1.0); (1, 2, 10.0, 1.0); (0, 2, 10.0, 1.0) ])
+
+let square () =
+  Graph.create
+    ~node_names:[| "a"; "b"; "c"; "d" |]
+    ~links:
+      (bidir
+         [
+           (0, 1, 10.0, 1.0); (1, 2, 10.0, 1.0); (2, 3, 10.0, 1.0);
+           (3, 0, 10.0, 1.0); (0, 2, 10.0, 1.0);
+         ])
+
+(* Groups of bidirectional links sharing an endpoint, closed under
+   reversal; used both for SRLGs (fiber sharing) and MLGs (maintenance). *)
+let link_groups ~seed g ~count ~min_size ~max_size =
+  let rng = R3_util.Prng.create seed in
+  let groups = ref [] in
+  let n = Graph.num_nodes g in
+  let attempts = ref 0 in
+  while List.length !groups < count && !attempts < count * 50 do
+    incr attempts;
+    let v = R3_util.Prng.int rng n in
+    let out = Graph.out_links g v in
+    if Array.length out >= 1 then begin
+      let size = min_size + R3_util.Prng.int rng (max_size - min_size + 1) in
+      let size = Int.min size (Array.length out) in
+      let chosen = R3_util.Prng.sample rng size out in
+      let with_reverse =
+        Array.to_list chosen
+        |> List.concat_map (fun e ->
+               match Graph.reverse_link g e with
+               | Some r -> [ e; r ]
+               | None -> [ e ])
+        |> List.sort_uniq Int.compare
+      in
+      if not (List.mem with_reverse !groups) then groups := with_reverse :: !groups
+    end
+  done;
+  List.rev !groups
+
+let synthetic_srlgs ~seed g ~count = link_groups ~seed g ~count ~min_size:2 ~max_size:3
+
+let synthetic_mlgs ~seed g ~count =
+  link_groups ~seed:(seed + 7919) g ~count ~min_size:1 ~max_size:3

@@ -1,0 +1,73 @@
+(** Topology catalog: the six networks of Table 1 plus small fixtures.
+
+    Abilene is the real 2006 router-level backbone (11 nodes, 14
+    bidirectional = 28 directed links) with approximate great-circle
+    propagation delays and the 100 Mbps Emulab scale-down of the paper.
+    The Rocketfuel PoP maps (Level-3, SBC, UUNet), the GT-ITM generated
+    network, and the proprietary US-ISP map are replaced by seeded synthetic
+    topologies with the paper's exact node/link counts (DESIGN.md §4). *)
+
+type named = {
+  tag : string;  (** short identifier used by the CLI and benches *)
+  description : string;
+  graph : Graph.t;
+}
+
+(** The real Abilene backbone; capacities 100 Mbps, delays in ms. *)
+val abilene : unit -> Graph.t
+
+(** Synthetic stand-ins with Table 1's node / directed-link counts. *)
+val level3_like : unit -> Graph.t
+
+val sbc_like : unit -> Graph.t
+val uunet_like : unit -> Graph.t
+
+(** GT-ITM-style generated backbone: 100 nodes, 460 directed links. *)
+val generated : unit -> Graph.t
+
+(** US-ISP stand-in: 22 PoPs, heterogeneous capacities. *)
+val usisp_like : unit -> Graph.t
+
+(** Everything above, in Table 1 order. *)
+val catalog : unit -> named list
+
+val find : string -> named option
+
+(** {2 Random generator} *)
+
+(** [random ~seed ~nodes ~undirected_links ~capacities ()] produces a
+    connected topology: geometric node placement, a random spanning tree
+    biased toward short links, then degree-and-distance-biased extra links.
+    Capacities are drawn from [capacities] (capacity, weight) pairs,
+    symmetric per undirected link. Raises [Invalid_argument] if
+    [undirected_links < nodes - 1] or exceeds the complete graph. *)
+val random :
+  seed:int ->
+  nodes:int ->
+  undirected_links:int ->
+  capacities:(float * float) list ->
+  unit ->
+  Graph.t
+
+(** {2 Fixtures for tests and examples} *)
+
+(** Two nodes joined by parallel directed-link pairs, one per capacity
+    (Figure 1 of the paper). *)
+val parallel_links : capacities:float list -> Graph.t
+
+(** Full mesh on 3 nodes, unit-ish capacities. *)
+val triangle : unit -> Graph.t
+
+(** 4-cycle plus one diagonal. *)
+val square : unit -> Graph.t
+
+(** {2 Structured failure events (Section 3.5)} *)
+
+(** [synthetic_srlgs ~seed g ~count] builds shared-risk link groups: each
+    group is 2–3 bidirectional links sharing an endpoint (fiber-conduit
+    sharing), closed under link reversal. *)
+val synthetic_srlgs : seed:int -> Graph.t -> count:int -> Graph.link list list
+
+(** Maintenance link groups: 1–3 bidirectional links touching a common
+    node, closed under reversal. *)
+val synthetic_mlgs : seed:int -> Graph.t -> count:int -> Graph.link list list

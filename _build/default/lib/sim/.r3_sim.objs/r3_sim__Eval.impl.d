@@ -1,0 +1,1 @@
+lib/sim/eval.ml: Array Float Hashtbl List R3_baselines R3_core R3_mcf R3_net

@@ -1,0 +1,1 @@
+lib/sim/eval.mli: R3_core R3_net

@@ -1,0 +1,1 @@
+lib/sim/fluid.ml: Array Float List R3_core R3_net R3_util

@@ -1,0 +1,1 @@
+lib/sim/fluid.mli: R3_core R3_net

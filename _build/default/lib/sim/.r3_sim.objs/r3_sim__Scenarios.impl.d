@@ -1,0 +1,1 @@
+lib/sim/scenarios.ml: Array Hashtbl Int List R3_net R3_util

@@ -1,0 +1,1 @@
+lib/sim/scenarios.mli: R3_net

@@ -1,0 +1,150 @@
+module G = R3_net.Graph
+module Routing = R3_net.Routing
+module B = R3_baselines
+
+type algorithm =
+  | Ospf_cspf_detour
+  | Ospf_recon
+  | Fcp
+  | Path_splice
+  | Ospf_r3
+  | Ospf_opt
+  | Mplsff_r3
+
+let algorithm_name = function
+  | Ospf_cspf_detour -> "OSPF+CSPF-detour"
+  | Ospf_recon -> "OSPF+recon"
+  | Fcp -> "FCP"
+  | Path_splice -> "PathSplice"
+  | Ospf_r3 -> "OSPF+R3"
+  | Ospf_opt -> "OSPF+opt"
+  | Mplsff_r3 -> "MPLS-ff+R3"
+
+let all_algorithms =
+  [ Ospf_cspf_detour; Ospf_recon; Fcp; Path_splice; Ospf_r3; Ospf_opt; Mplsff_r3 ]
+
+type env = {
+  graph : G.t;
+  weights : float array;
+  pairs : (G.node * G.node) array;
+  demands : float array;
+  ospf_base : Routing.t;
+  ospf_r3 : R3_core.Offline.plan option;
+  mplsff_r3 : R3_core.Offline.plan option;
+  mcf_epsilon : float;
+}
+
+let make_env g ~weights ~pairs ~demands ?ospf_r3 ?mplsff_r3 ?(mcf_epsilon = 0.06) () =
+  let ospf_base = R3_net.Ospf.routing g ~weights ~pairs () in
+  { graph = g; weights; pairs; demands; ospf_base; ospf_r3; mplsff_r3; mcf_epsilon }
+
+let r3_bottleneck env plan scenario =
+  (* Evaluate the plan's routing against the env's demands (the plan may
+     have been computed for a different - e.g. peak - matrix). *)
+  let plan_pairs = plan.R3_core.Offline.pairs in
+  let demands =
+    if plan_pairs == env.pairs then env.demands
+    else begin
+      (* align env demands onto plan commodities *)
+      let idx = Hashtbl.create 64 in
+      Array.iteri (fun k pr -> Hashtbl.replace idx pr k) env.pairs;
+      Array.map
+        (fun pr ->
+          match Hashtbl.find_opt idx pr with
+          | Some k -> env.demands.(k)
+          | None -> 0.0)
+        plan_pairs
+    end
+  in
+  let st =
+    R3_core.Reconfig.make env.graph ~pairs:plan_pairs ~demands
+      ~base:plan.R3_core.Offline.base ~protection:plan.R3_core.Offline.protection
+  in
+  let st = R3_core.Reconfig.apply_failures st scenario in
+  R3_core.Reconfig.mlu st
+
+let bottleneck env alg scenario =
+  let g = env.graph in
+  let failed = G.fail_links g scenario in
+  match alg with
+  | Ospf_recon ->
+    let o =
+      B.Ospf_recon.evaluate g ~failed ~weights:env.weights ~pairs:env.pairs
+        ~demands:env.demands ()
+    in
+    B.Types.bottleneck g ~failed o
+  | Ospf_cspf_detour ->
+    let o =
+      B.Cspf_detour.evaluate g ~failed ~weights:env.weights ~base:env.ospf_base
+        ~demands:env.demands ()
+    in
+    B.Types.bottleneck g ~failed o
+  | Fcp ->
+    let o =
+      B.Fcp.evaluate g ~failed ~weights:env.weights ~pairs:env.pairs
+        ~demands:env.demands ()
+    in
+    B.Types.bottleneck g ~failed o
+  | Path_splice ->
+    let o =
+      B.Path_splicing.evaluate g ~failed ~weights:env.weights ~pairs:env.pairs
+        ~demands:env.demands ()
+    in
+    B.Types.bottleneck g ~failed o
+  | Ospf_opt -> begin
+    match B.Opt_detour.mlu g ~failed ~base:env.ospf_base ~demands:env.demands () with
+    | Ok u -> u
+    | Error _ ->
+      (* fall back to reconvergence if the detour LP fails *)
+      let o =
+        B.Ospf_recon.evaluate g ~failed ~weights:env.weights ~pairs:env.pairs
+          ~demands:env.demands ()
+      in
+      B.Types.bottleneck g ~failed o
+  end
+  | Ospf_r3 -> begin
+    match env.ospf_r3 with
+    | Some plan -> r3_bottleneck env plan scenario
+    | None -> invalid_arg "Eval: OSPF+R3 requested without a plan"
+  end
+  | Mplsff_r3 -> begin
+    match env.mplsff_r3 with
+    | Some plan -> r3_bottleneck env plan scenario
+    | None -> invalid_arg "Eval: MPLS-ff+R3 requested without a plan"
+  end
+
+let optimal_bottleneck env scenario =
+  let failed = G.fail_links env.graph scenario in
+  let r =
+    R3_mcf.Concurrent_flow.min_mlu env.graph ~failed ~epsilon:env.mcf_epsilon
+      ~pairs:env.pairs ~demands:env.demands ()
+  in
+  r.R3_mcf.Concurrent_flow.mlu
+
+let performance_ratio env alg scenario =
+  let opt = optimal_bottleneck env scenario in
+  if opt <= 0.0 then nan else bottleneck env alg scenario /. opt
+
+let sorted_curves env ~algorithms ~scenarios ?(metric = `Ratio) () =
+  let algs = Array.of_list algorithms in
+  let values = Array.map (fun _ -> ref []) algs in
+  List.iter
+    (fun scenario ->
+      let opt =
+        match metric with
+        | `Ratio -> optimal_bottleneck env scenario
+        | `Bottleneck -> 1.0
+      in
+      Array.iteri
+        (fun i alg ->
+          let v = bottleneck env alg scenario in
+          let v = match metric with `Ratio -> if opt > 0.0 then v /. opt else nan | `Bottleneck -> v in
+          if not (Float.is_nan v) then values.(i) := v :: !(values.(i)))
+        algs)
+    scenarios;
+  Array.map
+    (fun l ->
+      let arr = Array.of_list !l in
+      Array.sort Float.compare arr;
+      arr)
+    values

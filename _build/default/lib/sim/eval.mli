@@ -1,0 +1,66 @@
+(** The evaluation engine behind Figures 3–10: run every protection
+    algorithm on a failure scenario and report the bottleneck traffic
+    intensity (worst live-link utilization) and the performance ratio
+    against optimal flow-based routing. *)
+
+type algorithm =
+  | Ospf_cspf_detour  (** OSPF base + CSPF fast-reroute bypasses *)
+  | Ospf_recon  (** OSPF reconvergence on the surviving topology *)
+  | Fcp  (** failure-carrying packets *)
+  | Path_splice  (** path splicing, k=10 slices *)
+  | Ospf_r3  (** R3 protection over the OSPF base routing *)
+  | Ospf_opt  (** per-scenario optimal link detour over the OSPF base *)
+  | Mplsff_r3  (** R3 protection over the jointly-optimized base *)
+
+val algorithm_name : algorithm -> string
+
+val all_algorithms : algorithm list
+
+(** Precomputed inputs shared across scenarios. *)
+type env = {
+  graph : R3_net.Graph.t;
+  weights : float array;  (** OSPF weights for the OSPF-based schemes *)
+  pairs : (R3_net.Graph.node * R3_net.Graph.node) array;
+  demands : float array;
+  ospf_base : R3_net.Routing.t;
+  ospf_r3 : R3_core.Offline.plan option;  (** plan with the OSPF base *)
+  mplsff_r3 : R3_core.Offline.plan option;  (** plan with optimized base *)
+  mcf_epsilon : float;  (** accuracy of the optimal-routing normalizer *)
+}
+
+(** Build an environment: computes the OSPF routing; R3 plans are supplied
+    by the caller (they may be shared across intervals). *)
+val make_env :
+  R3_net.Graph.t ->
+  weights:float array ->
+  pairs:(R3_net.Graph.node * R3_net.Graph.node) array ->
+  demands:float array ->
+  ?ospf_r3:R3_core.Offline.plan ->
+  ?mplsff_r3:R3_core.Offline.plan ->
+  ?mcf_epsilon:float ->
+  unit ->
+  env
+
+(** Bottleneck traffic intensity of one algorithm under one scenario
+    (directed failed links). R3 rows require the corresponding plan. *)
+val bottleneck : env -> algorithm -> R3_net.Graph.link list -> float
+
+(** Approximately optimal bottleneck intensity (flow-based optimal routing
+    on the surviving topology). *)
+val optimal_bottleneck : env -> R3_net.Graph.link list -> float
+
+(** [performance_ratio env alg scenario] divides by
+    {!optimal_bottleneck}; returns [nan] when the optimum is 0. *)
+val performance_ratio : env -> algorithm -> R3_net.Graph.link list -> float
+
+(** Evaluate several algorithms over many scenarios; result.(i) lists, for
+    algorithm i, the per-scenario values sorted ascending (the shape the
+    paper's sorted-ratio figures plot). [metric] defaults to
+    performance ratio; [`Bottleneck] gives raw intensities. *)
+val sorted_curves :
+  env ->
+  algorithms:algorithm list ->
+  scenarios:R3_net.Graph.link list list ->
+  ?metric:[ `Ratio | `Bottleneck ] ->
+  unit ->
+  float array array

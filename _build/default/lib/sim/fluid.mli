@@ -1,0 +1,65 @@
+(** Fluid traffic simulator standing in for the paper's Emulab testbed
+    (Figures 11–13): time-stepped link loads, per-OD throughput, loss at
+    overloaded links aggregated per egress router, and RTT of probe flows.
+
+    A scripted run fails physical links at given instants; the routing
+    reacts per the scheme under test (R3 online reconfiguration or OSPF
+    reconvergence, which converges only after its reconvergence delay).
+    Demands get a small deterministic burst modulation to mimic the
+    paper's bursty generator. *)
+
+type scheme =
+  | R3_plan of R3_core.Offline.plan
+  | Ospf of { weights : float array; reconvergence_s : float }
+
+type event = { at_s : float; fail : R3_net.Graph.link }
+(** [fail] is a physical link: its reverse goes down too. *)
+
+type config = {
+  duration_s : float;
+  dt_s : float;
+  burstiness : float;  (** 0 = constant bitrate; 0.2 = ±20% modulation *)
+  seed : int;
+}
+
+val default_config : config
+
+type step = {
+  time_s : float;
+  loads : float array;  (** per-link offered load *)
+  utilization : float array;  (** load / capacity, live links; 0 on failed *)
+  delivered : float array;  (** per-commodity delivered volume this step *)
+  offered : float array;  (** per-commodity offered volume this step *)
+  rtt_ms : float array;  (** per-commodity RTT estimate *)
+}
+
+type run = {
+  steps : step list;  (** chronological *)
+  pairs : (R3_net.Graph.node * R3_net.Graph.node) array;
+}
+
+val run :
+  ?config:config ->
+  R3_net.Graph.t ->
+  pairs:(R3_net.Graph.node * R3_net.Graph.node) array ->
+  demands:float array ->
+  scheme:scheme ->
+  events:event list ->
+  unit ->
+  run
+
+(** {2 Figure-shaped summaries} *)
+
+(** Steady-state (last quarter of the window between events) per-commodity
+    throughput normalized by total capacity — Figure 11(a)'s series. *)
+val throughput_by_phase : run -> events:event list -> float array list
+
+(** Per-link mean utilization per phase — Figure 11(b). *)
+val utilization_by_phase : run -> events:event list -> float array list
+
+(** Aggregated loss rate per egress router per phase — Figure 11(c). *)
+val egress_loss_by_phase :
+  R3_net.Graph.t -> run -> events:event list -> float array list
+
+(** RTT time series of one OD pair — Figure 12. *)
+val rtt_series : run -> src:R3_net.Graph.node -> dst:R3_net.Graph.node -> (float * float) list

@@ -1,0 +1,71 @@
+module G = R3_net.Graph
+
+let physical_links g =
+  let m = G.num_links g in
+  let keep = ref [] in
+  for e = m - 1 downto 0 do
+    match G.reverse_link g e with
+    | Some r -> if e < r then keep := e :: !keep
+    | None -> keep := e :: !keep
+  done;
+  Array.of_list !keep
+
+let expand g links =
+  List.concat_map
+    (fun e ->
+      match G.reverse_link g e with Some r -> [ e; r ] | None -> [ e ])
+    links
+
+let all_k g ~k =
+  let phys = physical_links g in
+  let n = Array.length phys in
+  let acc = ref [] in
+  let rec choose start chosen remaining =
+    if remaining = 0 then acc := expand g (List.rev chosen) :: !acc
+    else
+      for i = start to n - remaining do
+        choose (i + 1) (phys.(i) :: chosen) (remaining - 1)
+      done
+  in
+  choose 0 [] k;
+  List.rev !acc
+
+let sample_k g ~k ~count ~seed =
+  let phys = physical_links g in
+  let n = Array.length phys in
+  let total =
+    let rec binom n r =
+      if r = 0 || r = n then 1.0 else binom (n - 1) (r - 1) +. binom (n - 1) r
+    in
+    if k > n then 0.0 else binom n k
+  in
+  if total <= float_of_int count *. 1.5 && total <= 50_000.0 then begin
+    (* Space is small: enumerate and subsample deterministically. *)
+    let all = Array.of_list (all_k g ~k) in
+    let rng = R3_util.Prng.create seed in
+    if Array.length all <= count then Array.to_list all
+    else Array.to_list (R3_util.Prng.sample rng count all)
+  end
+  else begin
+    let rng = R3_util.Prng.create seed in
+    let seen = Hashtbl.create count in
+    let out = ref [] in
+    let guard = ref 0 in
+    while Hashtbl.length seen < count && !guard < count * 100 do
+      incr guard;
+      let picks = R3_util.Prng.sample rng k phys in
+      let key = List.sort Int.compare (Array.to_list picks) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        out := expand g key :: !out
+      end
+    done;
+    List.rev !out
+  end
+
+let group_events groups = groups
+
+let connected_only g scenarios =
+  List.filter
+    (fun s -> G.strongly_connected g ~failed:(G.fail_links g s) ())
+    scenarios

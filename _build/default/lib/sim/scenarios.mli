@@ -1,0 +1,31 @@
+(** Failure-scenario generation (Section 5.1).
+
+    The paper enumerates all single- and two-link failures and randomly
+    samples ~1100 three- and four-link scenarios. Failures are {e physical}:
+    a failed link takes its reverse direction down with it. A scenario is
+    the list of directed links that are down. *)
+
+(** Canonical physical links: one directed representative per bidirectional
+    pair (the lower id), plus any unpaired directed links. *)
+val physical_links : R3_net.Graph.t -> R3_net.Graph.link array
+
+(** Expand physical picks into the full directed-link scenario. *)
+val expand : R3_net.Graph.t -> R3_net.Graph.link list -> R3_net.Graph.link list
+
+(** All scenarios failing exactly [k] physical links (enumerated).
+    Scenarios that partition the graph are kept — algorithms must cope. *)
+val all_k : R3_net.Graph.t -> k:int -> R3_net.Graph.link list list
+
+(** [sample_k g ~k ~count ~seed] distinct random scenarios of [k] physical
+    links (fewer if the space is smaller than [count]). *)
+val sample_k :
+  R3_net.Graph.t -> k:int -> count:int -> seed:int -> R3_net.Graph.link list list
+
+(** Single failure events from structured groups: each SRLG or MLG down as
+    one event (already closed under reversal by construction). *)
+val group_events : R3_net.Graph.link list list -> R3_net.Graph.link list list
+
+(** Drop scenarios that disconnect the graph (used where the paper's metric
+    is only defined on connected survivors). *)
+val connected_only :
+  R3_net.Graph.t -> R3_net.Graph.link list list -> R3_net.Graph.link list list

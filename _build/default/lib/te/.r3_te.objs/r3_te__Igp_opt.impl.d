@@ -1,0 +1,1 @@
+lib/te/igp_opt.ml: Array Float List Option R3_net R3_util

@@ -1,0 +1,1 @@
+lib/te/igp_opt.mli: R3_net

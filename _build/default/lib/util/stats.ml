@@ -1,0 +1,54 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (acc /. float_of_int n)
+  end
+
+let min xs = Array.fold_left Float.min infinity xs
+let max xs = Array.fold_left Float.max neg_infinity xs
+
+let sorted xs =
+  let out = Array.copy xs in
+  Array.sort Float.compare out;
+  out
+
+let percentile p xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  let s = sorted xs in
+  if n = 1 then s.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let lo = if lo < 0 then 0 else if lo > n - 2 then n - 2 else lo in
+    let frac = rank -. float_of_int lo in
+    (s.(lo) *. (1.0 -. frac)) +. (s.(lo + 1) *. frac)
+  end
+
+let median xs = percentile 50.0 xs
+
+let cdf_points xs =
+  let s = sorted xs in
+  let n = Array.length s in
+  Array.mapi (fun i v -> (v, float_of_int (i + 1) /. float_of_int n)) s
+
+let histogram ~bins ~lo ~hi xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let counts = Array.make bins 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  let bucket x =
+    if width <= 0.0 then 0
+    else begin
+      let b = int_of_float ((x -. lo) /. width) in
+      if b < 0 then 0 else if b >= bins then bins - 1 else b
+    end
+  in
+  Array.iter (fun x -> counts.(bucket x) <- counts.(bucket x) + 1) xs;
+  counts

@@ -1,0 +1,27 @@
+(** Small statistics helpers used by the evaluation harness. *)
+
+(** Arithmetic mean; 0 for the empty array. *)
+val mean : float array -> float
+
+(** Population standard deviation; 0 for arrays of length < 2. *)
+val stddev : float array -> float
+
+val min : float array -> float
+val max : float array -> float
+
+(** [percentile p xs] with [p] in [0,100], linear interpolation between
+    order statistics. Raises [Invalid_argument] on an empty array. *)
+val percentile : float -> float array -> float
+
+val median : float array -> float
+
+(** Sorted copy, ascending. *)
+val sorted : float array -> float array
+
+(** [cdf_points xs] returns the array of [(value, fraction <= value)] pairs
+    of the empirical CDF, sorted by value. *)
+val cdf_points : float array -> (float * float) array
+
+(** [histogram ~bins ~lo ~hi xs] counts values per equal-width bin; values
+    outside [lo,hi] are clamped to the boundary bins. *)
+val histogram : bins:int -> lo:float -> hi:float -> float array -> int array

@@ -1,0 +1,9 @@
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let t1 = Unix.gettimeofday () in
+  (result, t1 -. t0)
+
+let time_only f =
+  let _, dt = time f in
+  dt

@@ -1,0 +1,7 @@
+(** Wall-clock timing helpers for the benchmark harness. *)
+
+(** [time f] runs [f ()] and returns its result with the elapsed seconds. *)
+val time : (unit -> 'a) -> 'a * float
+
+(** [time_only f] runs [f ()] for effects and returns the elapsed seconds. *)
+val time_only : (unit -> unit) -> float

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Float Option Printf QCheck QCheck_alcotest R3_baselines R3_net R3_sim R3_util

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Int List Option Printf QCheck QCheck_alcotest R3_core R3_net R3_util

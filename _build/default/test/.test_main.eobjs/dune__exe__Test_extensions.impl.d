@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Float Int List Printf QCheck QCheck_alcotest R3_core R3_net R3_sim R3_util String

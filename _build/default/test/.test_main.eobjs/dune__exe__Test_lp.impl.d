@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest R3_lp R3_util

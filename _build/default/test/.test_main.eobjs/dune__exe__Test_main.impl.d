@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_baselines Test_core Test_extensions Test_lp Test_mcf Test_mplsff Test_net Test_sim Test_te Test_util

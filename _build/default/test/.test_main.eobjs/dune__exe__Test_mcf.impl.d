@@ -1,0 +1,1 @@
+test/test_mcf.ml: Alcotest Array Float Option Printf QCheck QCheck_alcotest R3_mcf R3_net R3_util

@@ -1,0 +1,1 @@
+test/test_mplsff.ml: Alcotest Array Float Hashtbl List Option Printf R3_core R3_mplsff R3_net R3_util

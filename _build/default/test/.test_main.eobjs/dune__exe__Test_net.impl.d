@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Float Hashtbl Int List Option Printf QCheck QCheck_alcotest R3_core R3_net R3_util

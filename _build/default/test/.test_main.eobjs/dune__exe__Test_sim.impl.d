@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Int List Option Printf R3_core R3_net R3_sim R3_util

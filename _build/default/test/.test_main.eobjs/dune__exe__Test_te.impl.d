@@ -1,0 +1,1 @@
+test/test_te.ml: Alcotest Array Float Printf R3_net R3_te R3_util

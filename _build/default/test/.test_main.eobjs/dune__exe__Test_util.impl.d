@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Gen Int List QCheck QCheck_alcotest R3_util

@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "r3"
+    [
+      ("util", Test_util.suite);
+      ("lp", Test_lp.suite);
+      ("net", Test_net.suite);
+      ("core", Test_core.suite);
+      ("extensions", Test_extensions.suite);
+      ("mcf", Test_mcf.suite);
+      ("te", Test_te.suite);
+      ("baselines", Test_baselines.suite);
+      ("mplsff", Test_mplsff.suite);
+      ("sim", Test_sim.suite);
+    ]

@@ -1,0 +1,107 @@
+(* Tests for the approximate min-MLU solver against the exact LP. *)
+
+module G = R3_net.Graph
+module Topology = R3_net.Topology
+module Traffic = R3_net.Traffic
+module Cf = R3_mcf.Concurrent_flow
+
+let commodities_of g ~seed ~load =
+  let rng = R3_util.Prng.create seed in
+  let tm = Traffic.gravity rng g ~load_factor:load () in
+  Traffic.commodities tm
+
+let test_exact_triangle () =
+  (* Single commodity a->b demand 15 on a capacity-10 full mesh: the direct
+     link takes 10 max; optimal splits 10 direct + 5 via c giving MLU
+     ... min-MLU solution: x direct, (15-x)/ via c; utilizations x/10 and
+     (15-x)/10; balanced at x=7.5 -> MLU 0.75. *)
+  let g = Topology.triangle () in
+  let pairs = [| (0, 1) |] and demands = [| 15.0 |] in
+  match Cf.min_mlu_exact g ~pairs ~demands () with
+  | Error m -> Alcotest.fail m
+  | Ok (mlu, routing) ->
+    Alcotest.(check (float 1e-5)) "exact mlu" 0.75 mlu;
+    (match R3_net.Routing.validate g routing with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail m)
+
+let test_approx_close_to_exact_abilene () =
+  let g = Topology.abilene () in
+  let pairs, demands = commodities_of g ~seed:5 ~load:0.5 in
+  let exact =
+    match Cf.min_mlu_exact g ~pairs ~demands () with
+    | Ok (m, _) -> m
+    | Error e -> Alcotest.fail e
+  in
+  let approx = Cf.min_mlu g ~epsilon:0.05 ~pairs ~demands () in
+  (* Upper bound by construction, and within ~2 epsilon of optimal. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "approx %.4f >= exact %.4f" approx.Cf.mlu exact)
+    true
+    (approx.Cf.mlu >= exact -. 1e-6);
+  Alcotest.(check bool)
+    (Printf.sprintf "approx %.4f within 15%% of exact %.4f" approx.Cf.mlu exact)
+    true
+    (approx.Cf.mlu <= exact *. 1.15)
+
+let test_approx_under_failure () =
+  let g = Topology.abilene () in
+  let pairs, demands = commodities_of g ~seed:6 ~load:0.4 in
+  let id n = G.node_id g n in
+  let e = Option.get (G.find_link g (id "Denver") (id "KansasCity")) in
+  let failed = G.fail_bidir g [ e ] in
+  let exact =
+    match Cf.min_mlu_exact g ~failed ~pairs ~demands () with
+    | Ok (m, _) -> m
+    | Error e -> Alcotest.fail e
+  in
+  let approx = Cf.min_mlu g ~failed ~epsilon:0.05 ~pairs ~demands () in
+  Alcotest.(check bool)
+    (Printf.sprintf "failure: approx %.4f vs exact %.4f" approx.Cf.mlu exact)
+    true
+    (approx.Cf.mlu >= exact -. 1e-6 && approx.Cf.mlu <= exact *. 1.15)
+
+let test_partition_drops_lost_demand () =
+  let g = Topology.abilene () in
+  let id n = G.node_id g n in
+  (* Isolate Seattle. *)
+  let e1 = Option.get (G.find_link g (id "Seattle") (id "Sunnyvale")) in
+  let e2 = Option.get (G.find_link g (id "Seattle") (id "Denver")) in
+  let failed = G.fail_bidir g [ e1; e2 ] in
+  let pairs = [| (id "Seattle", id "NewYork"); (id "Denver", id "Houston") |] in
+  let demands = [| 50.0; 10.0 |] in
+  let r = Cf.min_mlu g ~failed ~pairs ~demands () in
+  (* Only the Denver->Houston demand survives; it fits easily. *)
+  Alcotest.(check bool) "positive" true (r.Cf.mlu > 0.0);
+  Alcotest.(check bool) "small (lost demand dropped)" true (r.Cf.mlu < 0.5)
+
+let test_zero_demand () =
+  let g = Topology.triangle () in
+  let r = Cf.min_mlu g ~pairs:[| (0, 1) |] ~demands:[| 0.0 |] () in
+  Alcotest.(check (float 0.0)) "zero" 0.0 r.Cf.mlu
+
+(* Scaling property: min-MLU is linear in demand. *)
+let scaling_prop =
+  QCheck.Test.make ~count:20 ~name:"min-MLU scales linearly with demand"
+    QCheck.(pair (int_bound 1_000) (float_range 0.5 3.0))
+    (fun (seed, alpha) ->
+      let g = Topology.square () in
+      let pairs, demands = commodities_of g ~seed ~load:0.3 in
+      match
+        ( Cf.min_mlu_exact g ~pairs ~demands (),
+          Cf.min_mlu_exact g ~pairs
+            ~demands:(Array.map (fun d -> d *. alpha) demands)
+            () )
+      with
+      | Ok (m1, _), Ok (m2, _) -> Float.abs ((m1 *. alpha) -. m2) <= 1e-5 *. (1.0 +. m2)
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "exact LP on triangle" `Quick test_exact_triangle;
+    Alcotest.test_case "approx ~ exact (abilene)" `Slow test_approx_close_to_exact_abilene;
+    Alcotest.test_case "approx ~ exact under failure" `Slow test_approx_under_failure;
+    Alcotest.test_case "partition drops lost demand" `Quick test_partition_drops_lost_demand;
+    Alcotest.test_case "zero demand" `Quick test_zero_demand;
+    QCheck_alcotest.to_alcotest scaling_prop;
+  ]

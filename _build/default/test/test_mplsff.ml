@@ -1,0 +1,207 @@
+(* Tests for the MPLS-ff forwarding plane: hashing, ILM/NHLFE construction,
+   packet forwarding with label stacking, and Table-3 storage accounting. *)
+
+module G = R3_net.Graph
+module Routing = R3_net.Routing
+module Traffic = R3_net.Traffic
+module Topology = R3_net.Topology
+module M = R3_mplsff
+
+let random_flow rng =
+  {
+    R3_mplsff.Flow_hash.src_ip = R3_util.Prng.bits rng land 0xFFFFFFFF;
+    dst_ip = R3_util.Prng.bits rng land 0xFFFFFFFF;
+    src_port = R3_util.Prng.int rng 65536;
+    dst_port = R3_util.Prng.int rng 65536;
+  }
+
+let test_hash_deterministic () =
+  let rng = R3_util.Prng.create 1 in
+  let flow = random_flow rng in
+  let salt = M.Flow_hash.router_salt ~seed:9 ~router:3 in
+  Alcotest.(check int) "same flow same hash" (M.Flow_hash.hash6 ~salt flow)
+    (M.Flow_hash.hash6 ~salt flow);
+  let salt2 = M.Flow_hash.router_salt ~seed:9 ~router:4 in
+  (* Different routers generally hash differently; check over many flows
+     that they are not identical everywhere. *)
+  let rng = R3_util.Prng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 100 do
+    let f = random_flow rng in
+    if M.Flow_hash.hash6 ~salt f <> M.Flow_hash.hash6 ~salt:salt2 f then differs := true
+  done;
+  Alcotest.(check bool) "router salt decorrelates" true !differs
+
+let test_hash_range () =
+  let rng = R3_util.Prng.create 3 in
+  let salt = M.Flow_hash.router_salt ~seed:1 ~router:0 in
+  for _ = 1 to 500 do
+    let h = M.Flow_hash.hash6 ~salt (random_flow rng) in
+    if h < 0 || h > 63 then Alcotest.failf "hash out of range: %d" h
+  done
+
+let test_pick_distribution () =
+  let rng = R3_util.Prng.create 4 in
+  let salt = M.Flow_hash.router_salt ~seed:5 ~router:2 in
+  let weights = [| 0.25; 0.75 |] in
+  let counts = [| 0; 0 |] in
+  let n = 4000 in
+  for _ = 1 to n do
+    let i = M.Flow_hash.pick ~salt (random_flow rng) weights in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let frac = float_of_int counts.(1) /. float_of_int n in
+  (* 6-bit hash quantizes to 1/64 steps; allow generous tolerance. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "split ~0.75 (got %.3f)" frac)
+    true
+    (Float.abs (frac -. 0.75) < 0.06)
+
+let abilene_plan () =
+  let g = Topology.abilene () in
+  let rng = R3_util.Prng.create 21 in
+  let tm = Traffic.gravity rng g ~load_factor:0.15 () in
+  let pairs, _ = Traffic.commodities tm in
+  let base = R3_net.Ospf.routing g ~weights:(R3_net.Ospf.unit_weights g) ~pairs () in
+  let cfg =
+    { (R3_core.Offline.default_config ~f:1) with
+      solve_method = R3_core.Offline.Constraint_gen }
+  in
+  match R3_core.Offline.compute cfg g tm (R3_core.Offline.Fixed base) with
+  | Ok plan -> (g, plan)
+  | Error m -> Alcotest.failf "plan failed: %s" m
+
+let test_fib_construction () =
+  let g, plan = abilene_plan () in
+  let fib = M.Fib.of_protection g plan.R3_core.Offline.protection in
+  let ilm, nhlfe = M.Fib.max_table_sizes fib in
+  Alcotest.(check bool) "ILM bounded by links" true (ilm <= G.num_links g);
+  Alcotest.(check bool) "has entries" true (ilm > 0 && nhlfe >= ilm);
+  (* Ratios at every router sum to 1 per label. *)
+  Array.iter
+    (fun rf ->
+      Hashtbl.iter
+        (fun _ fwd ->
+          let s = Array.fold_left (fun a n -> a +. n.M.Fib.ratio) 0.0 fwd.M.Fib.nhlfes in
+          if Float.abs (s -. 1.0) > 1e-6 then
+            Alcotest.failf "ratios sum to %g at router %d" s rf.M.Fib.router)
+        rf.M.Fib.ilm)
+    fib.M.Fib.fibs
+
+let test_forwarding_no_failure () =
+  let g, plan = abilene_plan () in
+  let fib = M.Fib.of_protection g plan.R3_core.Offline.protection in
+  let net = M.Forward.make g ~base:plan.R3_core.Offline.base ~fib () in
+  let rng = R3_util.Prng.create 31 in
+  let src = G.node_id g "Seattle" and dst = G.node_id g "Atlanta" in
+  for _ = 1 to 50 do
+    match M.Forward.forward net ~flow:(random_flow rng) ~src ~dst with
+    | Ok trace ->
+      Alcotest.(check bool) "delivered" true trace.M.Forward.delivered;
+      Alcotest.(check int) "no labels used" 0 trace.M.Forward.max_stack_depth
+    | Error m -> Alcotest.fail m
+  done
+
+let test_forwarding_with_failure_uses_labels () =
+  let g, plan = abilene_plan () in
+  let id n = G.node_id g n in
+  let e = Option.get (G.find_link g (id "KansasCity") (id "Indianapolis")) in
+  let failed = G.fail_bidir g [ e ] in
+  (* Routers have rescaled their local p (Theorem 3 lets them do so
+     independently); forwarding uses updated ratios. *)
+  let st = R3_core.Reconfig.of_plan plan in
+  let st = R3_core.Reconfig.apply_bidir_failure st e in
+  let fib = M.Fib.of_protection g st.R3_core.Reconfig.protection in
+  (* Base routing NOT updated at ingress: packets crossing the failed link
+     are label-protected mid-path. *)
+  let net = M.Forward.make g ~base:plan.R3_core.Offline.base ~fib ~failed () in
+  let rng = R3_util.Prng.create 33 in
+  let delivered = ref 0 and labeled = ref 0 and total = ref 0 in
+  Array.iter
+    (fun (a, b) ->
+      for _ = 1 to 5 do
+        incr total;
+        match M.Forward.forward net ~flow:(random_flow rng) ~src:a ~dst:b with
+        | Ok t ->
+          incr delivered;
+          if t.M.Forward.max_stack_depth > 0 then incr labeled;
+          List.iter
+            (fun l -> if failed.(l) then Alcotest.fail "traversed failed link")
+            t.M.Forward.links
+        | Error m -> Alcotest.failf "drop: %s" m
+      done)
+    plan.R3_core.Offline.pairs;
+  Alcotest.(check int) "all packets delivered" !total !delivered;
+  Alcotest.(check bool) "some packets were label-protected" true (!labeled > 0)
+
+let test_split_frequencies_match_protection () =
+  (* On the 4-parallel-link fixture with a known protection routing, the
+     hash-based splitter's empirical frequencies converge to the NHLFE
+     ratios. *)
+  let g = Topology.parallel_links ~capacities:[ 1.0; 1.0; 1.0; 1.0 ] in
+  let forward_links =
+    List.filter (fun e -> G.src g e = 0) (List.init 8 (fun e -> e))
+  in
+  let e1 = List.hd forward_links in
+  let pairs = [| (0, 1) |] in
+  let base = Routing.create g ~pairs in
+  base.Routing.frac.(0).(e1) <- 1.0;
+  let p = Routing.create g ~pairs:(Array.init 8 (fun e -> (G.src g e, G.dst g e))) in
+  List.iteri
+    (fun i e ->
+      p.Routing.frac.(e1).(e) <- [| 0.0; 0.2; 0.3; 0.5 |].(i))
+    forward_links;
+  let failed = G.fail_links g [ e1 ] in
+  let fib = M.Fib.of_protection g p in
+  let net = M.Forward.make g ~base ~fib ~failed () in
+  let rng = R3_util.Prng.create 35 in
+  let freq = M.Forward.split_frequencies net ~rng ~count:6000 ~src:0 ~dst:1 in
+  List.iteri
+    (fun i e ->
+      let expected = [| 0.0; 0.2; 0.3; 0.5 |].(i) in
+      if expected > 0.0 then begin
+        let got = freq.(e) in
+        if Float.abs (got -. expected) > 0.08 then
+          Alcotest.failf "link %d: expected %.2f got %.3f" e expected got
+      end)
+    forward_links
+
+let test_storage_accounting () =
+  let g, plan = abilene_plan () in
+  let report = M.Storage.of_protection g plan.R3_core.Offline.protection in
+  Alcotest.(check bool) "ILM <= 28" true (report.M.Storage.ilm_entries <= 28);
+  Alcotest.(check bool) "FIB < 16 KB" true (report.M.Storage.fib_bytes < 16_384);
+  (* RIB model: |E|^2 * 104 bytes = 784 * 104 < 83 KB, Table 3's bound. *)
+  Alcotest.(check int) "RIB bytes" (28 * 28 * 104) report.M.Storage.rib_bytes;
+  Alcotest.(check bool) "RIB < 83 KB" true (report.M.Storage.rib_bytes < 83 * 1024)
+
+let test_notification_flooding () =
+  let g = Topology.abilene () in
+  let id n = G.node_id g n in
+  let e = Option.get (G.find_link g (id "Denver") (id "KansasCity")) in
+  let failed = G.fail_bidir g [ e ] in
+  let times = M.Notify.arrival_times g ~failed ~link:e in
+  let head = id "Denver" in
+  Alcotest.(check (float 1e-9)) "head detects first"
+    M.Notify.default_config.M.Notify.detection_ms times.(head);
+  Array.iteri
+    (fun v t ->
+      if t < times.(head) -. 1e-9 then
+        Alcotest.failf "router %d notified before detection" v;
+      if t = infinity then Alcotest.failf "router %d never notified" v)
+    times;
+  let conv = M.Notify.convergence_time g ~failed ~link:e in
+  Alcotest.(check bool) "convergence bounded" true (conv < 100.0)
+
+let suite =
+  [
+    Alcotest.test_case "hash determinism and salts" `Quick test_hash_deterministic;
+    Alcotest.test_case "hash range" `Quick test_hash_range;
+    Alcotest.test_case "pick follows weights" `Quick test_pick_distribution;
+    Alcotest.test_case "fib construction" `Quick test_fib_construction;
+    Alcotest.test_case "forwarding without failures" `Quick test_forwarding_no_failure;
+    Alcotest.test_case "forwarding protects via labels" `Quick test_forwarding_with_failure_uses_labels;
+    Alcotest.test_case "hash splits match NHLFE ratios" `Quick test_split_frequencies_match_protection;
+    Alcotest.test_case "storage accounting (Table 3)" `Quick test_storage_accounting;
+    Alcotest.test_case "notification flooding" `Quick test_notification_flooding;
+  ]

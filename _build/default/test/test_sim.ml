@@ -1,0 +1,183 @@
+(* Tests for scenario generation, the evaluation engine, and the fluid
+   simulator. *)
+
+module G = R3_net.Graph
+module Topology = R3_net.Topology
+module Traffic = R3_net.Traffic
+module S = R3_sim.Scenarios
+module E = R3_sim.Eval
+module F = R3_sim.Fluid
+
+let test_physical_links () =
+  let g = Topology.abilene () in
+  let phys = S.physical_links g in
+  Alcotest.(check int) "14 physical links" 14 (Array.length phys);
+  (* expansion gives both directions *)
+  let s = S.expand g [ phys.(0) ] in
+  Alcotest.(check int) "expanded" 2 (List.length s)
+
+let test_all_k_counts () =
+  let g = Topology.abilene () in
+  Alcotest.(check int) "single failures" 14 (List.length (S.all_k g ~k:1));
+  Alcotest.(check int) "pairs" (14 * 13 / 2) (List.length (S.all_k g ~k:2))
+
+let test_sample_distinct () =
+  let g = Topology.uunet_like () in
+  let samples = S.sample_k g ~k:3 ~count:100 ~seed:5 in
+  Alcotest.(check int) "count" 100 (List.length samples);
+  let keys = List.map (fun s -> List.sort Int.compare s) samples in
+  Alcotest.(check int) "distinct" 100 (List.length (List.sort_uniq compare keys))
+
+let test_connected_only () =
+  let g = Topology.abilene () in
+  let all = S.all_k g ~k:2 in
+  let conn = S.connected_only g all in
+  (* Cutting both Seattle links partitions, so some scenarios are dropped. *)
+  Alcotest.(check bool) "some dropped" true (List.length conn < List.length all);
+  Alcotest.(check bool) "most kept" true (List.length conn > List.length all / 2)
+
+let make_env () =
+  let g = Topology.usisp_like () in
+  let rng = R3_util.Prng.create 51 in
+  let tm = Traffic.gravity rng g ~load_factor:0.35 () in
+  let pairs, demands = Traffic.commodities tm in
+  let weights = R3_net.Ospf.unit_weights g in
+  let base = R3_net.Ospf.routing g ~weights ~pairs () in
+  (* f = 1 keeps the CG solve fast; the engine properties under test do
+     not depend on the protection level. *)
+  let cfg =
+    { (R3_core.Offline.default_config ~f:1) with
+      solve_method = R3_core.Offline.Constraint_gen }
+  in
+  let plan =
+    match R3_core.Offline.compute cfg g tm (R3_core.Offline.Fixed base) with
+    | Ok p -> p
+    | Error m -> Alcotest.failf "plan: %s" m
+  in
+  (g, E.make_env g ~weights ~pairs ~demands ~ospf_r3:plan ())
+
+let test_eval_algorithms_run () =
+  let g, env = make_env () in
+  let scenario = S.expand g [ (S.physical_links g).(2) ] in
+  List.iter
+    (fun alg ->
+      match alg with
+      | E.Mplsff_r3 -> () (* no plan provided in this env *)
+      | _ ->
+        let v = E.bottleneck env alg scenario in
+        if not (v >= 0.0) then
+          Alcotest.failf "%s returned %g" (E.algorithm_name alg) v)
+    E.all_algorithms
+
+let test_eval_r3_close_to_opt () =
+  (* R3's reconfigured MLU is never better than the per-scenario optimal
+     link detour on the same base (both are link-based protections on the
+     OSPF base), and the ratio should be modest. *)
+  let g, env = make_env () in
+  let scenarios = List.filteri (fun i _ -> i mod 4 = 0) (S.all_k g ~k:1) in
+  List.iter
+    (fun scenario ->
+      let opt = E.bottleneck env E.Ospf_opt scenario in
+      let r3 = E.bottleneck env E.Ospf_r3 scenario in
+      if r3 < opt -. 1e-6 then
+        Alcotest.failf "R3 %.4f beat opt %.4f (impossible)" r3 opt)
+    scenarios
+
+let test_optimal_lower_bounds_everything () =
+  let g, env = make_env () in
+  let scenario = S.expand g [ (S.physical_links g).(4) ] in
+  let opt = E.optimal_bottleneck env scenario in
+  List.iter
+    (fun alg ->
+      match alg with
+      | E.Mplsff_r3 -> ()
+      | _ ->
+        let v = E.bottleneck env alg scenario in
+        (* the MCF normalizer is approximate: allow its epsilon *)
+        if v < opt /. 1.15 -. 1e-6 then
+          Alcotest.failf "%s %.4f below optimal %.4f" (E.algorithm_name alg) v opt)
+    E.all_algorithms
+
+let test_fluid_r3_run () =
+  let g = Topology.abilene () in
+  let rng = R3_util.Prng.create 61 in
+  let tm = Traffic.gravity rng g ~load_factor:0.25 () in
+  let pairs, demands = Traffic.commodities tm in
+  let base = R3_net.Ospf.routing g ~weights:(R3_net.Ospf.unit_weights g) ~pairs () in
+  let cfg =
+    { (R3_core.Offline.default_config ~f:2) with
+      solve_method = R3_core.Offline.Constraint_gen }
+  in
+  let plan =
+    match R3_core.Offline.compute cfg g tm (R3_core.Offline.Fixed base) with
+    | Ok p -> p
+    | Error m -> Alcotest.failf "plan: %s" m
+  in
+  let id n = G.node_id g n in
+  (* The paper's sequence ends with Sunnyvale-Denver, which sits on the
+     Denver->LosAngeles probe path and steps its RTT up (Figure 12). *)
+  let events =
+    [
+      { F.at_s = 60.0; fail = Option.get (G.find_link g (id "Houston") (id "KansasCity")) };
+      { F.at_s = 120.0; fail = Option.get (G.find_link g (id "Sunnyvale") (id "Denver")) };
+    ]
+  in
+  let config = { F.default_config with F.duration_s = 180.0; dt_s = 2.0 } in
+  let run = F.run ~config g ~pairs ~demands ~scheme:(F.R3_plan plan) ~events () in
+  Alcotest.(check int) "steps" 90 (List.length run.F.steps);
+  (* RTT of the probe pair steps up once its path is hit. *)
+  let rtt = F.rtt_series run ~src:(id "Denver") ~dst:(id "LosAngeles") in
+  Alcotest.(check bool) "rtt series nonempty" true (List.length rtt > 0);
+  let early = List.filter (fun (t, _) -> t < 50.0) rtt in
+  let late = List.filter (fun (t, _) -> t > 130.0) rtt in
+  let avg l = List.fold_left (fun a (_, v) -> a +. v) 0.0 l /. float_of_int (List.length l) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rtt increases after on-path failure (%.2f -> %.2f)" (avg early) (avg late))
+    true
+    (avg late > avg early +. 0.5);
+  (* Utilization stays bounded under R3 with mlu<=1 plan. *)
+  let phases = F.utilization_by_phase run ~events in
+  Alcotest.(check int) "three phases" 3 (List.length phases);
+  List.iter
+    (fun utils ->
+      Array.iter
+        (fun u ->
+          if u > 1.3 (* plan mlu may exceed 1 slightly with bursts *) then
+            Alcotest.failf "excessive utilization %.3f" u)
+        utils)
+    phases
+
+let test_fluid_ospf_blackholes_then_recovers () =
+  let g = Topology.abilene () in
+  let rng = R3_util.Prng.create 62 in
+  let tm = Traffic.gravity rng g ~load_factor:0.25 () in
+  let pairs, demands = Traffic.commodities tm in
+  let id n = G.node_id g n in
+  let events =
+    [ { F.at_s = 30.0; fail = Option.get (G.find_link g (id "Denver") (id "KansasCity")) } ]
+  in
+  let config = { F.default_config with F.duration_s = 90.0; dt_s = 1.0; burstiness = 0.0 } in
+  let scheme = F.Ospf { weights = R3_net.Ospf.unit_weights g; reconvergence_s = 5.0 } in
+  let run = F.run ~config g ~pairs ~demands ~scheme ~events () in
+  let deliv t =
+    let s = List.find (fun s -> s.F.time_s = t) run.F.steps in
+    Array.fold_left ( +. ) 0.0 s.F.delivered
+  in
+  let before = deliv 29.0 and during = deliv 32.0 and after = deliv 60.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "blackhole dip (%.1f -> %.1f -> %.1f)" before during after)
+    true
+    (during < before && after > during)
+
+let suite =
+  [
+    Alcotest.test_case "physical links" `Quick test_physical_links;
+    Alcotest.test_case "all_k counts" `Quick test_all_k_counts;
+    Alcotest.test_case "sampling distinct" `Quick test_sample_distinct;
+    Alcotest.test_case "connected_only filter" `Quick test_connected_only;
+    Alcotest.test_case "all algorithms run" `Slow test_eval_algorithms_run;
+    Alcotest.test_case "R3 never beats opt detour" `Slow test_eval_r3_close_to_opt;
+    Alcotest.test_case "optimal lower-bounds all" `Slow test_optimal_lower_bounds_everything;
+    Alcotest.test_case "fluid run under R3" `Slow test_fluid_r3_run;
+    Alcotest.test_case "fluid OSPF blackhole dip" `Quick test_fluid_ospf_blackholes_then_recovers;
+  ]

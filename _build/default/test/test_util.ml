@@ -1,0 +1,136 @@
+(* Tests for the util substrate: PRNG determinism and distributions,
+   statistics helpers. *)
+
+module Prng = R3_util.Prng
+module Stats = R3_util.Stats
+
+let test_prng_determinism () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.bits a) (Prng.bits b)
+  done;
+  let c = Prng.create 8 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.bits a <> Prng.bits c then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_prng_copy_and_split () =
+  let a = Prng.create 9 in
+  ignore (Prng.bits a);
+  let b = Prng.copy a in
+  Alcotest.(check int) "copy continues identically" (Prng.bits a) (Prng.bits b);
+  let s1 = Prng.split a in
+  let s2 = Prng.split a in
+  Alcotest.(check bool) "splits independent" true (Prng.bits s1 <> Prng.bits s2)
+
+let test_prng_int_bounds () =
+  let rng = Prng.create 10 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "int out of bounds: %d" v
+  done;
+  (try
+     ignore (Prng.int rng 0);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_prng_float_range () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Prng.float rng 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "float out of range: %g" v
+  done
+
+let test_prng_uniformity () =
+  let rng = Prng.create 12 in
+  let buckets = Array.make 10 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let b = Prng.int rng 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      if Float.abs (frac -. 0.1) > 0.02 then Alcotest.failf "skewed bucket: %g" frac)
+    buckets
+
+let test_prng_shuffle_permutes () =
+  let rng = Prng.create 13 in
+  let arr = Array.init 50 (fun i -> i) in
+  let orig = Array.copy arr in
+  Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.(check bool) "same multiset" true (sorted = orig);
+  Alcotest.(check bool) "actually shuffled" true (arr <> orig)
+
+let test_prng_sample_distinct () =
+  let rng = Prng.create 14 in
+  let arr = Array.init 30 (fun i -> i) in
+  let s = Prng.sample rng 10 arr in
+  Alcotest.(check int) "size" 10 (Array.length s);
+  let sorted = Array.to_list s |> List.sort_uniq Int.compare in
+  Alcotest.(check int) "distinct" 10 (List.length sorted)
+
+let test_pareto_heavy_tail () =
+  let rng = Prng.create 15 in
+  let n = 5000 in
+  let xs = Array.init n (fun _ -> Prng.pareto rng ~alpha:1.2 ~xmin:1.0) in
+  Array.iter (fun x -> if x < 1.0 then Alcotest.failf "below xmin: %g" x) xs;
+  (* heavy tail: max should dwarf median *)
+  Alcotest.(check bool) "heavy tail" true (Stats.max xs > 10.0 *. Stats.median xs)
+
+let test_stats_basics () =
+  let xs = [| 4.0; 1.0; 3.0; 2.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean xs);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min xs);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.max xs);
+  Alcotest.(check (float 1e-9)) "median" 2.5 (Stats.median xs);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile 0.0 xs);
+  Alcotest.(check (float 1e-9)) "p100" 4.0 (Stats.percentile 100.0 xs)
+
+let test_stats_stddev () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  Alcotest.(check (float 1e-9)) "stddev" 2.0 (Stats.stddev xs)
+
+let test_cdf_points () =
+  let xs = [| 3.0; 1.0; 2.0 |] in
+  let cdf = Stats.cdf_points xs in
+  Alcotest.(check int) "points" 3 (Array.length cdf);
+  Alcotest.(check (float 1e-9)) "first value" 1.0 (fst cdf.(0));
+  Alcotest.(check (float 1e-9)) "last fraction" 1.0 (snd cdf.(2))
+
+let test_histogram () =
+  let xs = [| 0.1; 0.2; 0.55; 0.9; 1.5; -0.5 |] in
+  let h = Stats.histogram ~bins:2 ~lo:0.0 ~hi:1.0 xs in
+  (* clamping puts 1.5 in the top bin and -0.5 in the bottom *)
+  Alcotest.(check int) "bottom bin" 3 h.(0);
+  Alcotest.(check int) "top bin" 3 h.(1)
+
+let percentile_monotone_prop =
+  QCheck.Test.make ~count:100 ~name:"percentile is monotone in p"
+    QCheck.(pair (list_of_size (Gen.int_range 1 30) (float_range (-100.) 100.)) (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun (xs, (p1, p2)) ->
+      let xs = Array.of_list xs in
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.percentile lo xs <= Stats.percentile hi xs +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+    Alcotest.test_case "prng copy and split" `Quick test_prng_copy_and_split;
+    Alcotest.test_case "prng int bounds" `Quick test_prng_int_bounds;
+    Alcotest.test_case "prng float range" `Quick test_prng_float_range;
+    Alcotest.test_case "prng uniformity" `Quick test_prng_uniformity;
+    Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
+    Alcotest.test_case "sample distinct" `Quick test_prng_sample_distinct;
+    Alcotest.test_case "pareto heavy tail" `Quick test_pareto_heavy_tail;
+    Alcotest.test_case "stats basics" `Quick test_stats_basics;
+    Alcotest.test_case "stats stddev" `Quick test_stats_stddev;
+    Alcotest.test_case "cdf points" `Quick test_cdf_points;
+    Alcotest.test_case "histogram clamps" `Quick test_histogram;
+    QCheck_alcotest.to_alcotest percentile_monotone_prop;
+  ]
