@@ -12,7 +12,7 @@ let quick = ref true
 
 (* ---------- plan cache ---------- *)
 
-let cache_version = 4
+let cache_version = 5
 
 let cache_dir = ".bench-cache"
 

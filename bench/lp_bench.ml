@@ -1,0 +1,156 @@
+(* LP-layer benchmark: dense vs sparse simplex backends on the paper's
+   dualized offline LP, and cold vs warm-started constraint generation.
+   Results go to stdout (paper-style table) and to BENCH_lp.json in the
+   working directory, so the perf trajectory is tracked in-repo PR over PR.
+
+   Run as:  dune exec bench/main.exe -- lp          (quick: Abilene + PoP)
+            dune exec bench/main.exe -- --full lp   (adds the US-ISP map) *)
+
+module G = R3_net.Graph
+module Topology = R3_net.Topology
+module Traffic = R3_net.Traffic
+module Ospf = R3_net.Ospf
+module Offline = R3_core.Offline
+module J = R3_util.Json
+
+let output_path = "BENCH_lp.json"
+
+let plan_exn = function Ok p -> p | Error e -> failwith ("lp bench: " ^ e)
+
+(* A fixed OSPF base keeps the LP identical across backends: only the
+   solver changes. *)
+let setup ~seed g =
+  let rng = R3_util.Prng.create seed in
+  let tm = Traffic.gravity rng g ~load_factor:0.3 () in
+  let pairs, _ = Traffic.commodities tm in
+  let base = Ospf.routing g ~weights:(Ospf.unit_weights g) ~pairs () in
+  (tm, base)
+
+(* Paper LP (7), solved dense vs sparse. *)
+let dualized_case ~f g tm base =
+  let run backend =
+    let cfg = { (Offline.default_config ~f) with Offline.lp_backend = backend } in
+    let res, dt =
+      R3_util.Timer.time (fun () -> Offline.compute cfg g tm (Offline.Fixed base))
+    in
+    (plan_exn res, dt)
+  in
+  let sparse, t_sparse = run `Sparse in
+  let dense, t_dense = run `Dense in
+  let speedup = t_dense /. Float.max t_sparse 1e-9 in
+  Printf.printf
+    "  dualized LP (F=%d): %d vars, %d rows | dense %.2fs / %d pivots | \
+     sparse %.2fs / %d pivots | speedup %.1fx | dMLU %.2g\n%!"
+    f sparse.Offline.lp_vars sparse.Offline.lp_rows t_dense
+    dense.Offline.lp_pivots t_sparse sparse.Offline.lp_pivots speedup
+    (Float.abs (dense.Offline.mlu -. sparse.Offline.mlu));
+  J.Obj
+    [
+      ("lp_vars", J.Int sparse.Offline.lp_vars);
+      ("lp_rows", J.Int sparse.Offline.lp_rows);
+      ( "dense",
+        J.Obj
+          [
+            ("seconds", J.Float t_dense);
+            ("pivots", J.Int dense.Offline.lp_pivots);
+            ("mlu", J.Float dense.Offline.mlu);
+          ] );
+      ( "sparse",
+        J.Obj
+          [
+            ("seconds", J.Float t_sparse);
+            ("pivots", J.Int sparse.Offline.lp_pivots);
+            ("mlu", J.Float sparse.Offline.mlu);
+          ] );
+      ("sparse_speedup", J.Float speedup);
+      ("mlu_delta", J.Float (Float.abs (dense.Offline.mlu -. sparse.Offline.mlu)));
+    ]
+
+(* Constraint generation: cold re-solve per round vs warm basis repair.
+   Both sides use the sparse backend; only the restart policy differs. *)
+let cg_case ~f g tm base =
+  let run warm =
+    let cfg =
+      {
+        (Offline.default_config ~f) with
+        Offline.solve_method = Offline.Constraint_gen;
+        cg_warm_start = warm;
+      }
+    in
+    let res, dt =
+      R3_util.Timer.time (fun () -> Offline.compute cfg g tm (Offline.Fixed base))
+    in
+    (plan_exn res, dt)
+  in
+  let warm, t_warm = run true in
+  let cold, t_cold = run false in
+  let pivot_ratio =
+    float_of_int cold.Offline.lp_pivots
+    /. Float.max (float_of_int warm.Offline.lp_pivots) 1.0
+  in
+  Printf.printf
+    "  constraint gen (F=%d): cold %.2fs / %d pivots | warm %.2fs / %d \
+     pivots | pivot ratio %.1fx | dMLU %.2g\n%!"
+    f t_cold cold.Offline.lp_pivots t_warm warm.Offline.lp_pivots pivot_ratio
+    (Float.abs (cold.Offline.mlu -. warm.Offline.mlu));
+  J.Obj
+    [
+      ( "cold",
+        J.Obj
+          [
+            ("seconds", J.Float t_cold);
+            ("pivots", J.Int cold.Offline.lp_pivots);
+            ("cut_rows", J.Int cold.Offline.lp_rows);
+          ] );
+      ( "warm",
+        J.Obj
+          [
+            ("seconds", J.Float t_warm);
+            ("pivots", J.Int warm.Offline.lp_pivots);
+            ("cut_rows", J.Int warm.Offline.lp_rows);
+          ] );
+      ("pivot_ratio", J.Float pivot_ratio);
+      ("warm_speedup", J.Float (t_cold /. Float.max t_warm 1e-9));
+      ("mlu_delta", J.Float (Float.abs (cold.Offline.mlu -. warm.Offline.mlu)));
+    ]
+
+let scenario ~tag ~seed ~f g =
+  Printf.printf "%s: %d nodes, %d directed links\n%!" tag (G.num_nodes g)
+    (G.num_links g);
+  let tm, base = setup ~seed g in
+  let dualized = dualized_case ~f g tm base in
+  let cg = cg_case ~f g tm base in
+  J.Obj
+    [
+      ("topology", J.String tag);
+      ("nodes", J.Int (G.num_nodes g));
+      ("links", J.Int (G.num_links g));
+      ("f", J.Int f);
+      ("dualized", dualized);
+      ("constraint_gen", cg);
+    ]
+
+(* A synthesized PoP-scale topology above the 30-directed-link mark, kept
+   apart from the Table 1 catalog so its size can grow independently. *)
+let pop g_seed = Topology.random ~seed:g_seed ~nodes:16 ~undirected_links:18
+    ~capacities:[ (100.0, 2.0); (400.0, 1.0) ] ()
+
+let run () =
+  Harness.section "LP core: dense vs sparse simplex, cold vs warm CG";
+  let scenarios =
+    [ scenario ~tag:"abilene" ~seed:7 ~f:1 (Topology.abilene ());
+      scenario ~tag:"pop36" ~seed:21 ~f:1 (pop 3) ]
+    @ (if !Harness.quick then []
+       else [ scenario ~tag:"usisp" ~seed:33 ~f:1 (Topology.usisp_like ()) ])
+  in
+  let doc =
+    J.Obj
+      [
+        ("bench", J.String "lp");
+        ("mode", J.String (if !Harness.quick then "quick" else "full"));
+        ("parallel_domains", J.Int (R3_util.Parallel.domains ()));
+        ("scenarios", J.List scenarios);
+      ]
+  in
+  J.write_file output_path doc;
+  Harness.note "wrote %s" output_path

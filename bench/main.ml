@@ -27,6 +27,7 @@ let experiments =
     ("table2", Experiments.table2);
     ("table3", Experiments.table3);
     ("ablation", Experiments.ablation);
+    ("lp", Lp_bench.run);
     ("micro", Micro.main);
   ]
 

@@ -2,6 +2,7 @@ module P = R3_lp.Problem
 module G = R3_net.Graph
 module Routing = R3_net.Routing
 module Traffic = R3_net.Traffic
+module Parallel = R3_util.Parallel
 
 type base_spec = Joint | Fixed of Routing.t
 
@@ -15,6 +16,8 @@ type config = {
   solve_method : method_;
   max_pivots : int option;
   cg_max_rounds : int;
+  cg_warm_start : bool;
+  lp_backend : P.backend;
 }
 
 let default_config ~f =
@@ -26,6 +29,8 @@ let default_config ~f =
     solve_method = Dualized;
     max_pivots = None;
     cg_max_rounds = 60;
+    cg_warm_start = true;
+    lp_backend = `Sparse;
   }
 
 type plan = {
@@ -38,6 +43,7 @@ type plan = {
   mlu : float;
   lp_vars : int;
   lp_rows : int;
+  lp_pivots : int;
 }
 
 (* Commodities shared by all traffic matrices: the union of supports, with
@@ -65,8 +71,7 @@ let union_commodities g tms =
 type base_load = Terms of (float array -> int -> (float * P.var) list) | Const of float array array
 (* Const.(h).(e): per traffic matrix h, per link e *)
 
-let solve_or_error lp max_pivots =
-  match P.solve ?max_pivots lp with
+let status_error = function
   | P.Optimal s -> Ok s
   | P.Infeasible ->
     Error
@@ -74,6 +79,9 @@ let solve_or_error lp max_pivots =
        the penalty envelope is too tight"
   | P.Unbounded -> Error "R3 offline: LP unbounded (internal error)"
   | P.Iteration_limit -> Error "R3 offline: simplex pivot budget exhausted"
+
+let solve_or_error ?backend lp max_pivots =
+  status_error (P.solve ?backend ?max_pivots lp)
 
 let add_envelope_rows lp g (cfg : config) r_vars pairs demand_arrays =
   match cfg.envelope with
@@ -162,10 +170,11 @@ let build_master lp g (cfg : config) base_spec pairs demand_arrays =
   (mlu, p_vars, r_vars, base_load, link_prs)
 
 (* Base-load contribution for matrix index [h] on link [e], as LP terms and
-   a constant part. *)
-let base_terms base_load demand_arrays h e =
+   a constant part. [demand_arrs] is indexed by matrix so the per-link
+   loops stay O(1) per lookup. *)
+let base_terms base_load (demand_arrs : float array array) h e =
   match base_load with
-  | Terms f -> (f (List.nth demand_arrays h) e, 0.0)
+  | Terms f -> (f demand_arrs.(h) e, 0.0)
   | Const loads -> ([], loads.(h).(e))
 
 let finish lp sol g pairs p_vars r_vars base_spec mlu_var =
@@ -184,6 +193,7 @@ let finish lp sol g pairs p_vars r_vars base_spec mlu_var =
 
 let compute_dualized (cfg : config) g tms base_spec =
   let pairs, demand_arrays, max_demands = union_commodities g tms in
+  let demand_arrs = Array.of_list demand_arrays in
   let lp = P.create ~name:"r3-offline-dual" () in
   let mlu, p_vars, r_vars, base_load, _ = build_master lp g cfg base_spec pairs demand_arrays in
   let m = G.num_links g in
@@ -205,23 +215,22 @@ let compute_dualized (cfg : config) g tms base_spec =
     done
   done;
   (* Capacity rows per traffic matrix per link. *)
-  List.iteri
-    (fun h _ ->
-      for e = 0 to m - 1 do
-        let terms, const = base_terms base_load demand_arrays h e in
-        let virt = ref [ (float_of_int cfg.f, lambda.(e)) ] in
-        for l = 0 to m - 1 do
-          match pi.(e).(l) with
-          | Some v -> virt := (1.0, v) :: !virt
-          | None -> ()
-        done;
-        P.constr lp
-          ~name:(Printf.sprintf "cap%d_%d" h e)
-          (((-.G.capacity g e, mlu) :: terms) @ !virt)
-          P.Le (-.const)
-      done)
-    demand_arrays;
-  match solve_or_error lp cfg.max_pivots with
+  for h = 0 to Array.length demand_arrs - 1 do
+    for e = 0 to m - 1 do
+      let terms, const = base_terms base_load demand_arrs h e in
+      let virt = ref [ (float_of_int cfg.f, lambda.(e)) ] in
+      for l = 0 to m - 1 do
+        match pi.(e).(l) with
+        | Some v -> virt := (1.0, v) :: !virt
+        | None -> ()
+      done;
+      P.constr lp
+        ~name:(Printf.sprintf "cap%d_%d" h e)
+        (((-.G.capacity g e, mlu) :: terms) @ !virt)
+        P.Le (-.const)
+    done
+  done;
+  match solve_or_error ~backend:cfg.lp_backend lp cfg.max_pivots with
   | Error _ as e -> e
   | Ok sol ->
     let base, protection, mlu_val = finish lp sol g pairs p_vars r_vars base_spec mlu in
@@ -236,108 +245,132 @@ let compute_dualized (cfg : config) g tms base_spec =
         mlu = mlu_val;
         lp_vars = P.num_vars lp;
         lp_rows = P.num_constraints lp;
+        lp_pivots = sol.P.pivots;
       }
 
 (* Knapsack audit of a finished routing (same formula as Verify, inlined
-   here to avoid a dependency cycle). *)
+   here to avoid a dependency cycle). Embarrassingly parallel per link;
+   the merge is a fold over the slot-ordered result array, so the value
+   is independent of the domain count. *)
 let audit_worst_mlu g ~f ~base_loads ~protection =
   let m = G.num_links g in
-  let worst = ref 0.0 in
-  for e = 0 to m - 1 do
-    let weights =
-      Array.init m (fun l -> G.capacity g l *. protection.Routing.frac.(l).(e))
-    in
-    let ml = Virtual_demand.worst_virtual_load ~f weights in
-    let u = (base_loads.(e) +. ml) /. G.capacity g e in
-    if u > !worst then worst := u
-  done;
-  !worst
+  let utils =
+    Parallel.init m (fun e ->
+        let weights =
+          Array.init m (fun l -> G.capacity g l *. protection.Routing.frac.(l).(e))
+        in
+        let ml = Virtual_demand.worst_virtual_load ~f weights in
+        (base_loads.(e) +. ml) /. G.capacity g e)
+  in
+  Array.fold_left Float.max 0.0 utils
 
 (* ---- Method 2: constraint generation with the knapsack oracle. ---- *)
 
 let compute_cg (cfg : config) g tms base_spec =
   let pairs, demand_arrays, max_demands = union_commodities g tms in
+  let demand_arrs = Array.of_list demand_arrays in
+  let nh = Array.length demand_arrs in
   let lp = P.create ~name:"r3-offline-cg" () in
   let mlu, p_vars, r_vars, base_load, link_prs = build_master lp g cfg base_spec pairs demand_arrays in
   let m = G.num_links g in
   (* Initial rows: no-failure load must fit within MLU * capacity. *)
-  List.iteri
-    (fun h _ ->
-      for e = 0 to m - 1 do
-        let terms, const = base_terms base_load demand_arrays h e in
-        if terms <> [] || const > 0.0 then
-          P.constr lp
-            ~name:(Printf.sprintf "cap0_%d_%d" h e)
-            ((-.G.capacity g e, mlu) :: terms)
-            P.Le (-.const)
-      done)
-    demand_arrays;
+  for h = 0 to nh - 1 do
+    for e = 0 to m - 1 do
+      let terms, const = base_terms base_load demand_arrs h e in
+      if terms <> [] || const > 0.0 then
+        P.constr lp
+          ~name:(Printf.sprintf "cap0_%d_%d" h e)
+          ((-.G.capacity g e, mlu) :: terms)
+          P.Le (-.const)
+    done
+  done;
+  (* Warm start: translate the LP once and repair the basis after each
+     batch of cuts; cold mode re-solves from scratch every round. *)
+  let sess = if cfg.cg_warm_start then Some (P.session ?max_pivots:cfg.max_pivots lp) else None in
+  let cold_pivots = ref 0 in
+  let solve_round () =
+    match sess with
+    | Some s -> status_error (P.resolve s)
+    | None -> (
+      match solve_or_error ~backend:cfg.lp_backend lp cfg.max_pivots with
+      | Ok sol ->
+        cold_pivots := !cold_pivots + sol.P.pivots;
+        Ok sol
+      | Error _ as e -> e)
+  in
+  let total_pivots () =
+    match sess with Some s -> P.session_pivots s | None -> !cold_pivots
+  in
   let seen_cuts = Hashtbl.create 256 in
-  let nh = List.length demand_arrays in
   let rec iterate round =
     (* On budget exhaustion the last solution is still a valid routing;
        report it with its audited (true) worst-case MLU. *)
     let budget_left = round <= cfg.cg_max_rounds in
     begin
-      match solve_or_error lp cfg.max_pivots with
+      match solve_round () with
       | Error _ as e -> e
       | Ok sol ->
         let p = Lp_build.extract_routing sol g ~pairs:link_prs p_vars in
         let mlu_val = sol.P.value mlu in
         let base_loads_h =
-          List.init nh (fun h ->
-              match base_load with
-              | Const loads -> loads.(h)
-              | Terms _ ->
-                (* joint: evaluate current r against matrix h *)
-                (match r_vars with
-                | Some rv ->
-                  let r = Lp_build.extract_routing sol g ~pairs rv in
-                  Routing.loads g ~demands:(List.nth demand_arrays h) r
-                | None -> assert false))
+          match base_load with
+          | Const loads -> loads
+          | Terms _ ->
+            (* joint: evaluate current r against each matrix *)
+            let r =
+              match r_vars with
+              | Some rv -> Lp_build.extract_routing sol g ~pairs rv
+              | None -> assert false
+            in
+            Array.init nh (fun h -> Routing.loads g ~demands:demand_arrs.(h) r)
         in
-        let violated = ref 0 in
-        List.iteri
-          (fun h base_loads ->
-            for e = 0 to m - 1 do
+        (* Separation oracle, fanned out per (matrix, link). Each task is
+           independent and results come back in slot order, so the cuts
+           added below appear in exactly the sequential (h, e) order. *)
+        let oracle =
+          Parallel.init (nh * m) (fun i ->
+              let h = i / m and e = i mod m in
               let weights =
-                Array.init m (fun l ->
-                    G.capacity g l *. p.Routing.frac.(l).(e))
+                Array.init m (fun l -> G.capacity g l *. p.Routing.frac.(l).(e))
               in
               let ml, set = Virtual_demand.worst_virtual_load_set ~f:cfg.f weights in
-              let cap = G.capacity g e in
-              if base_loads.(e) +. ml > ((mlu_val +. 1e-7) *. cap) +. 1e-7 then begin
-                let key = (h, e, List.sort Int.compare set) in
-                if not (Hashtbl.mem seen_cuts key) then begin
-                  Hashtbl.add seen_cuts key ();
-                  incr violated;
-                  let terms, const = base_terms base_load demand_arrays h e in
-                  let p_terms =
-                    List.filter_map
-                      (fun l ->
-                        Option.map (fun v -> (G.capacity g l, v)) p_vars.(l).(e))
-                      set
-                  in
-                  P.constr lp
-                    ~name:(Printf.sprintf "cut%d_%d_%d" round h e)
-                    (((-.cap, mlu) :: terms) @ p_terms)
-                    P.Le (-.const)
-                end
+              (h, e, ml, set))
+        in
+        let violated = ref 0 in
+        Array.iter
+          (fun (h, e, ml, set) ->
+            let cap = G.capacity g e in
+            if base_loads_h.(h).(e) +. ml > ((mlu_val +. 1e-7) *. cap) +. 1e-7 then begin
+              let key = (h, e, List.sort Int.compare set) in
+              if not (Hashtbl.mem seen_cuts key) then begin
+                Hashtbl.add seen_cuts key ();
+                incr violated;
+                let terms, const = base_terms base_load demand_arrs h e in
+                let p_terms =
+                  List.filter_map
+                    (fun l ->
+                      Option.map (fun v -> (G.capacity g l, v)) p_vars.(l).(e))
+                    set
+                in
+                P.constr lp
+                  ~name:(Printf.sprintf "cut%d_%d_%d" round h e)
+                  (((-.cap, mlu) :: terms) @ p_terms)
+                  P.Le (-.const)
               end
-            done)
-          base_loads_h;
+            end)
+          oracle;
         if !violated = 0 || not budget_left then begin
           let base, protection, mlu_val = finish lp sol g pairs p_vars r_vars base_spec mlu in
           let mlu_val =
             if !violated = 0 then mlu_val
             else begin
               (* budget exhausted: audit the true worst case of this plan *)
-              List.fold_left
+              Array.fold_left
                 (fun acc demands ->
                   let base_loads = Routing.loads g ~demands base in
                   Float.max acc
                     (audit_worst_mlu g ~f:cfg.f ~base_loads ~protection))
-                0.0 demand_arrays
+                0.0 demand_arrs
             end
           in
           Ok
@@ -351,6 +384,7 @@ let compute_cg (cfg : config) g tms base_spec =
               mlu = mlu_val;
               lp_vars = P.num_vars lp;
               lp_rows = P.num_constraints lp;
+              lp_pivots = total_pivots ();
             }
         end
         else iterate (round + 1)

@@ -35,6 +35,12 @@ type config = {
   solve_method : method_;
   max_pivots : int option;  (** simplex pivot budget per LP solve *)
   cg_max_rounds : int;  (** cut-generation rounds cap *)
+  cg_warm_start : bool;
+      (** re-solve each cut-generation round warm via {!R3_lp.Problem.session}
+          (dual-simplex basis repair) instead of a cold two-phase solve.
+          Default [true]; [false] is the benchmark baseline. *)
+  lp_backend : R3_lp.Problem.backend;
+      (** simplex tableau representation for cold solves (default [`Sparse]) *)
 }
 
 val default_config : f:int -> config
@@ -49,6 +55,7 @@ type plan = {
   mlu : float;  (** optimal MLU over [d + X_F]; congestion-free iff <= 1 *)
   lp_vars : int;
   lp_rows : int;
+  lp_pivots : int;  (** total simplex pivots spent across all LP (re-)solves *)
 }
 
 (** Compute the plan for a traffic matrix. Fails with a message when the LP

@@ -117,10 +117,30 @@ let compute (cfg : Offline.config) g ?srlgs ~classes base_spec =
       done)
     per_class_demands;
   let seen = Hashtbl.create 128 in
+  (* Warm-started rounds, as in [Offline.compute_cg]. *)
+  let sess =
+    if cfg.Offline.cg_warm_start then
+      Some (P.session ?max_pivots:cfg.Offline.max_pivots lp)
+    else None
+  in
+  let cold_pivots = ref 0 in
+  let solve_round () =
+    match sess with
+    | Some s -> P.resolve s
+    | None ->
+      let r = P.solve ~backend:cfg.Offline.lp_backend ?max_pivots:cfg.Offline.max_pivots lp in
+      (match r with
+      | P.Optimal sol -> cold_pivots := !cold_pivots + sol.P.pivots
+      | _ -> ());
+      r
+  in
+  let total_pivots () =
+    match sess with Some s -> P.session_pivots s | None -> !cold_pivots
+  in
   let rec iterate round =
     let budget_left = round <= cfg.Offline.cg_max_rounds in
     begin
-      match P.solve ?max_pivots:cfg.Offline.max_pivots lp with
+      match solve_round () with
       | P.Infeasible -> Error "prioritized R3: infeasible"
       | P.Unbounded -> Error "prioritized R3: unbounded"
       | P.Iteration_limit -> Error "prioritized R3: pivot budget exhausted"
@@ -206,6 +226,7 @@ let compute (cfg : Offline.config) g ?srlgs ~classes base_spec =
               mlu = mlu_val;
               lp_vars = P.num_vars lp;
               lp_rows = P.num_constraints lp;
+              lp_pivots = total_pivots ();
             }
           in
           let class_mlus =

@@ -121,16 +121,16 @@ let audit_mlu (plan : Offline.plan) groups =
   let g = plan.Offline.graph in
   let m = G.num_links g in
   let base_loads = Routing.loads g ~demands:plan.Offline.demands plan.Offline.base in
-  let worst = ref 0.0 in
-  for e = 0 to m - 1 do
-    let weights =
-      Array.init m (fun l -> G.capacity g l *. plan.Offline.protection.Routing.frac.(l).(e))
-    in
-    let value, _ = worst_structured_load groups weights in
-    let u = (base_loads.(e) +. value) /. G.capacity g e in
-    if u > !worst then worst := u
-  done;
-  !worst
+  let utils =
+    R3_util.Parallel.init m (fun e ->
+        let weights =
+          Array.init m (fun l ->
+              G.capacity g l *. plan.Offline.protection.Routing.frac.(l).(e))
+        in
+        let value, _ = worst_structured_load groups weights in
+        (base_loads.(e) +. value) /. G.capacity g e)
+  in
+  Array.fold_left Float.max 0.0 utils
 
 let compute (cfg : Offline.config) g tm groups base_spec =
   let pairs, demands = R3_net.Traffic.commodities tm in
@@ -215,10 +215,31 @@ let compute (cfg : Offline.config) g tm groups base_spec =
   done;
   let seen = Hashtbl.create 64 in
   let quantize y = Array.map (fun v -> int_of_float (Float.round (v *. 1000.0))) y in
+  (* Same warm-start discipline as [Offline.compute_cg]: keep the simplex
+     basis across rounds and repair it after each batch of cuts. *)
+  let sess =
+    if cfg.Offline.cg_warm_start then
+      Some (P.session ?max_pivots:cfg.Offline.max_pivots lp)
+    else None
+  in
+  let cold_pivots = ref 0 in
+  let solve_round () =
+    match sess with
+    | Some s -> P.resolve s
+    | None ->
+      let r = P.solve ~backend:cfg.Offline.lp_backend ?max_pivots:cfg.Offline.max_pivots lp in
+      (match r with
+      | P.Optimal sol -> cold_pivots := !cold_pivots + sol.P.pivots
+      | _ -> ());
+      r
+  in
+  let total_pivots () =
+    match sess with Some s -> P.session_pivots s | None -> !cold_pivots
+  in
   let rec iterate round =
     let budget_left = round <= cfg.Offline.cg_max_rounds in
     begin
-      match P.solve ?max_pivots:cfg.Offline.max_pivots lp with
+      match solve_round () with
       | P.Infeasible -> Error "structured R3: infeasible"
       | P.Unbounded -> Error "structured R3: unbounded"
       | P.Iteration_limit -> Error "structured R3: pivot budget exhausted"
@@ -232,12 +253,18 @@ let compute (cfg : Offline.config) g tm groups base_spec =
             let r = Lp_build.extract_routing sol g ~pairs (Option.get r_vars) in
             Routing.loads g ~demands r
         in
+        (* Separation per link, fanned out over domains; slot-ordered
+           results keep the cut order identical to a sequential loop. *)
+        let oracle =
+          R3_util.Parallel.init m (fun e ->
+              let weights =
+                Array.init m (fun l -> G.capacity g l *. p.Routing.frac.(l).(e))
+              in
+              worst_structured_load groups weights)
+        in
         let violated = ref 0 in
         for e = 0 to m - 1 do
-          let weights =
-            Array.init m (fun l -> G.capacity g l *. p.Routing.frac.(l).(e))
-          in
-          let value, y = worst_structured_load groups weights in
+          let value, y = oracle.(e) in
           let cap = G.capacity g e in
           if base_loads.(e) +. value > ((mlu_val +. 1e-7) *. cap) +. 1e-7 then begin
             let key = (e, Array.to_list (quantize y)) in
@@ -278,6 +305,7 @@ let compute (cfg : Offline.config) g tm groups base_spec =
               mlu = mlu_val;
               lp_vars = P.num_vars lp;
               lp_rows = P.num_constraints lp;
+              lp_pivots = total_pivots ();
             }
           in
           (* audited value when the cut budget ran out *)

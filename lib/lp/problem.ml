@@ -2,6 +2,8 @@ type var = int
 
 type cmp = Le | Ge | Eq
 
+type backend = [ `Dense | `Sparse ]
+
 type var_info = { vname : string; lb : float; ub : float }
 
 type row = { rname : string; terms : (float * var) list; cmp : cmp; rhs : float }
@@ -10,13 +12,14 @@ type t = {
   pname : string;
   mutable vars : var_info list;  (* reversed *)
   mutable nvars : int;
+  mutable vars_cache : var_info array option;  (* memoized [vars_array] *)
   mutable rows : row list;  (* reversed *)
   mutable nrows : int;
   mutable sense_minimize : bool;
   mutable obj_terms : (float * var) list;
 }
 
-type solution = { objective : float; value : var -> float }
+type solution = { objective : float; value : var -> float; pivots : int }
 
 type result =
   | Optimal of solution
@@ -29,6 +32,7 @@ let create ?(name = "lp") () =
     pname = name;
     vars = [];
     nvars = 0;
+    vars_cache = None;
     rows = [];
     nrows = 0;
     sense_minimize = true;
@@ -42,6 +46,7 @@ let var t ?(lb = 0.0) ?(ub = infinity) vname =
   let v = t.nvars in
   t.vars <- { vname; lb; ub } :: t.vars;
   t.nvars <- t.nvars + 1;
+  t.vars_cache <- None;
   v
 
 let free_var t vname = var t ~lb:neg_infinity ~ub:infinity vname
@@ -67,9 +72,13 @@ let num_vars t = t.nvars
 let num_constraints t = t.nrows
 
 let vars_array t =
-  let arr = Array.make t.nvars { vname = ""; lb = 0.0; ub = 0.0 } in
-  List.iteri (fun i vi -> arr.(t.nvars - 1 - i) <- vi) t.vars;
-  arr
+  match t.vars_cache with
+  | Some arr -> arr
+  | None ->
+    let arr = Array.make t.nvars { vname = ""; lb = 0.0; ub = 0.0 } in
+    List.iteri (fun i vi -> arr.(t.nvars - 1 - i) <- vi) t.vars;
+    t.vars_cache <- Some arr;
+    arr
 
 let var_name t v =
   if v < 0 || v >= t.nvars then invalid_arg "Problem.var_name: bad var";
@@ -96,7 +105,46 @@ let compact_terms nvars terms =
    - Split:   two nonnegative columns, x = col_pos - col_neg (free var) *)
 type col_map = Shifted of int * float | Split of int * int
 
-let solve ?max_pivots t =
+(* Snapshot of the user problem translated onto solver columns: variable
+   mapping, objective over columns, and all rows (user rows in order,
+   then upper-bound rows). Shared by [solve] and [session]. *)
+type translated = {
+  mapping : col_map array;
+  n_user : int;
+  obj : float array;
+  obj_const : float;
+  sense : float;
+  rows : (int array * float array) array;
+  cmps : Simplex.cmp array;
+  rhs : float array;
+}
+
+(* One constraint row through the column mapping. *)
+let translate_row mapping n_user { terms; cmp; rhs; _ } =
+  let idx, coef = compact_terms n_user terms in
+  let cols = ref [] and vals = ref [] in
+  let rhs_shift = ref 0.0 in
+  Array.iteri
+    (fun k v ->
+      let c = coef.(k) in
+      match mapping.(v) with
+      | Shifted (col, lb) ->
+        cols := col :: !cols;
+        vals := c :: !vals;
+        rhs_shift := !rhs_shift +. (c *. lb)
+      | Split (p, m) ->
+        cols := m :: p :: !cols;
+        vals := -.c :: c :: !vals)
+    idx;
+  let cmp =
+    match cmp with Le -> Simplex.Le | Ge -> Simplex.Ge | Eq -> Simplex.Eq
+  in
+  ( Array.of_list (List.rev !cols),
+    Array.of_list (List.rev !vals),
+    cmp,
+    rhs -. !rhs_shift )
+
+let translate t =
   let infos = vars_array t in
   let n_user = t.nvars in
   let mapping = Array.make n_user (Shifted (0, 0.0)) in
@@ -137,31 +185,10 @@ let solve ?max_pivots t =
         obj.(p) <- obj.(p) +. c;
         obj.(m) <- obj.(m) -. c)
     idx;
-  (* Constraint rows, translated through the column mapping. *)
   let user_rows = List.rev t.rows in
-  let translate { terms; cmp; rhs; _ } =
-    let idx, coef = compact_terms n_user terms in
-    let cols = ref [] and vals = ref [] in
-    let rhs_shift = ref 0.0 in
-    Array.iteri
-      (fun k v ->
-        let c = coef.(k) in
-        match mapping.(v) with
-        | Shifted (col, lb) ->
-          cols := col :: !cols;
-          vals := c :: !vals;
-          rhs_shift := !rhs_shift +. (c *. lb)
-        | Split (p, m) ->
-          cols := m :: p :: !cols;
-          vals := -.c :: c :: !vals)
-      idx;
-    let cmp = match cmp with Le -> Simplex.Le | Ge -> Simplex.Ge | Eq -> Simplex.Eq in
-    ( Array.of_list (List.rev !cols),
-      Array.of_list (List.rev !vals),
-      cmp,
-      rhs -. !rhs_shift )
+  let all_rows =
+    List.map (translate_row mapping n_user) user_rows @ List.rev !extra_rows
   in
-  let all_rows = List.map translate user_rows @ List.rev !extra_rows in
   let m = List.length all_rows in
   let rows = Array.make m ([||], [||]) in
   let cmps = Array.make m Simplex.Eq in
@@ -172,21 +199,101 @@ let solve ?max_pivots t =
       cmps.(i) <- c;
       rhs.(i) <- r)
     all_rows;
-  let out = Simplex.solve ?max_pivots ~obj ~rows ~cmps ~rhs () in
-  match out.status with
+  { mapping; n_user; obj; obj_const = !obj_const; sense; rows; cmps; rhs }
+
+let wrap tr (out : Simplex.outcome) =
+  match out.Simplex.status with
   | Simplex.Infeasible -> Infeasible
   | Simplex.Unbounded -> Unbounded
   | Simplex.Iteration_limit -> Iteration_limit
   | Simplex.Optimal ->
-    let x = out.x in
+    let x = out.Simplex.x in
     let value v =
-      if v < 0 || v >= n_user then invalid_arg "solution value: bad var";
-      match mapping.(v) with
+      if v < 0 || v >= tr.n_user then invalid_arg "solution value: bad var";
+      match tr.mapping.(v) with
       | Shifted (col, lb) -> lb +. x.(col)
       | Split (p, mi) -> x.(p) -. x.(mi)
     in
-    let objective = sense *. (out.objective +. !obj_const) in
-    Optimal { objective; value }
+    let objective = tr.sense *. (out.Simplex.objective +. tr.obj_const) in
+    Optimal { objective; value; pivots = out.Simplex.pivots }
+
+let solve ?backend ?max_pivots t =
+  let tr = translate t in
+  wrap tr
+    (Simplex.solve ?backend ?max_pivots ~obj:tr.obj ~rows:tr.rows ~cmps:tr.cmps
+       ~rhs:tr.rhs ())
+
+(* ---- incremental solve handle ---- *)
+
+type session = {
+  sp : t;
+  smax_pivots : int option;
+  mutable core : (Simplex.Session.t * translated) option;
+  mutable seen_rows : int;  (* rows of [sp] already in [core] *)
+  mutable seen_vars : int;
+  mutable retired_pivots : int;  (* pivots spent in discarded cores *)
+}
+
+let session ?max_pivots t =
+  { sp = t; smax_pivots = max_pivots; core = None; seen_rows = 0;
+    seen_vars = 0; retired_pivots = 0 }
+
+let session_pivots s =
+  s.retired_pivots
+  + (match s.core with Some (c, _) -> Simplex.Session.pivots c | None -> 0)
+
+let retire s =
+  (match s.core with
+  | Some (c, _) -> s.retired_pivots <- s.retired_pivots + Simplex.Session.pivots c
+  | None -> ());
+  s.core <- None
+
+(* Full cold (re)build: translate the whole problem and run two-phase. *)
+let cold_start s =
+  let t = s.sp in
+  let tr = translate t in
+  let core =
+    Simplex.Session.create ?max_pivots:s.smax_pivots ~obj:tr.obj ~rows:tr.rows
+      ~cmps:tr.cmps ~rhs:tr.rhs ()
+  in
+  s.core <- Some (core, tr);
+  s.seen_rows <- t.nrows;
+  s.seen_vars <- t.nvars;
+  wrap tr (Simplex.Session.outcome core)
+
+let resolve s =
+  let t = s.sp in
+  match s.core with
+  | None -> cold_start s
+  | Some _ when t.nvars <> s.seen_vars ->
+    (* New variables (or a changed objective shape) need a fresh tableau. *)
+    retire s;
+    cold_start s
+  | Some (core, tr) ->
+    let fresh = t.nrows - s.seen_rows in
+    if fresh = 0 then wrap tr (Simplex.Session.outcome core)
+    else begin
+      (* [t.rows] is reversed: the first [fresh] entries are the new rows. *)
+      let rec take k acc = function
+        | r :: rest when k > 0 -> take (k - 1) (r :: acc) rest
+        | _ -> acc
+      in
+      let new_rows = take fresh [] t.rows in
+      List.iter
+        (fun r ->
+          let idx, vals, cmp, rhs = translate_row tr.mapping tr.n_user r in
+          Simplex.Session.add_row core (idx, vals) cmp rhs)
+        new_rows;
+      s.seen_rows <- t.nrows;
+      let out = Simplex.Session.resolve core in
+      match out.Simplex.status with
+      | Simplex.Iteration_limit when not (Simplex.Session.warm_ok core) ->
+        (* Warm state unusable (numerical trouble or budget blown during
+           the dual repair): fall back to one cold solve. *)
+        retire s;
+        cold_start s
+      | _ -> wrap tr out
+    end
 
 let pp ppf t =
   let infos = vars_array t in

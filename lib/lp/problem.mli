@@ -17,9 +17,16 @@ type var
 
 type cmp = Le | Ge | Eq
 
+(** Simplex tableau representation: [`Sparse] (default) stores rows as
+    sparse vectors and is the production path; [`Dense] is the reference
+    full-tableau implementation. Identical statuses, objectives within
+    numerical tolerance. *)
+type backend = [ `Dense | `Sparse ]
+
 type solution = {
   objective : float;  (** optimal objective value, in the user's sense *)
   value : var -> float;  (** value of each variable at the optimum *)
+  pivots : int;  (** simplex pivots spent producing this solution *)
 }
 
 type result =
@@ -59,7 +66,34 @@ val var_name : t -> var -> string
 
 (** Solve with the built-in two-phase primal simplex.
     [max_pivots] defaults to a budget proportional to the problem size. *)
-val solve : ?max_pivots:int -> t -> result
+val solve : ?backend:backend -> ?max_pivots:int -> t -> result
+
+(** {2 Incremental solving}
+
+    A session translates the problem once, solves it, and keeps the final
+    simplex basis alive. Rows appended to the problem with {!constr} after
+    a solve are picked up by the next {!resolve} and repaired with
+    dual-simplex pivots instead of a from-scratch two-phase solve - the
+    work-loop of cutting-plane methods like {!R3_core.Offline}'s
+    constraint generation. Adding {e variables} after the first solve
+    forces a transparent cold rebuild (still correct, just not warm). *)
+
+(** Incremental solve handle over a problem. All row additions must go
+    through the underlying problem's {!constr}; the session notices them
+    by row count. *)
+type session
+
+(** [session t] prepares an incremental handle; nothing is solved until
+    the first {!resolve}. [max_pivots] bounds each individual (re-)solve. *)
+val session : ?max_pivots:int -> t -> session
+
+(** Solve, or re-solve warm after rows were added. Falls back to a cold
+    solve automatically when the warm basis is unusable. *)
+val resolve : session -> result
+
+(** Total simplex pivots spent by this session so far (initial solve plus
+    all warm repairs and cold fallbacks). *)
+val session_pivots : session -> int
 
 (** Pretty-print a small problem in LP-like text format (tests/debugging). *)
 val pp : Format.formatter -> t -> unit

@@ -13,202 +13,58 @@ type outcome = {
   pivots : int;
 }
 
+type backend = [ `Dense | `Sparse ]
+
 let eps = 1e-9
 let feas_tol = 1e-7
 
-(* Mutable solver state. The tableau stores, for each active row, the full
-   dense row over [width] columns (structural + slack + artificial). Two
-   reduced-cost rows are maintained simultaneously so that phase 2 can start
-   immediately once phase 1 ends. *)
-type state = {
-  m : int;
-  width : int;
-  n_struct : int;
-  n_art : int;  (* artificial columns occupy [width - n_art, width) *)
-  tab : float array array;
-  b : float array;
-  basis : int array;
-  active : bool array;
-  cost1 : float array;  (* phase-1 reduced costs *)
-  cost2 : float array;  (* phase-2 reduced costs *)
-  devex : float array;  (* Devex reference weights for pricing *)
-  mutable obj1 : float;  (* phase-1 objective (sum of artificials) *)
-  mutable obj2 : float;  (* phase-2 objective (c . x) *)
-  mutable pivots : int;
-  mutable degenerate_run : int;
-}
-
-let is_artificial st j = j >= st.width - st.n_art
-
-(* Pivot on (row [ip], column [jp]): normalize the pivot row, eliminate the
-   column from every other active row and from both cost rows. *)
-let pivot st ip jp =
-  let tab = st.tab and b = st.b in
-  let prow = tab.(ip) in
-  let piv = prow.(jp) in
-  let inv = 1.0 /. piv in
-  let width = st.width in
-  for j = 0 to width - 1 do
-    Array.unsafe_set prow j (Array.unsafe_get prow j *. inv)
-  done;
-  prow.(jp) <- 1.0;
-  b.(ip) <- b.(ip) *. inv;
-  let brow = b.(ip) in
-  for i = 0 to st.m - 1 do
-    if i <> ip && st.active.(i) then begin
-      let row = Array.unsafe_get tab i in
-      let factor = Array.unsafe_get row jp in
-      if Float.abs factor > 1e-13 then begin
-        for j = 0 to width - 1 do
-          Array.unsafe_set row j
-            (Array.unsafe_get row j -. (factor *. Array.unsafe_get prow j))
-        done;
-        row.(jp) <- 0.0;
-        b.(i) <- b.(i) -. (factor *. brow);
-        if b.(i) < 0.0 && b.(i) > -1e-11 then b.(i) <- 0.0
-      end
-    end
-  done;
-  let eliminate cost =
-    let factor = cost.(jp) in
-    if Float.abs factor > 1e-13 then begin
-      for j = 0 to width - 1 do
-        Array.unsafe_set cost j
-          (Array.unsafe_get cost j -. (factor *. Array.unsafe_get prow j))
-      done;
-      cost.(jp) <- 0.0
-    end;
-    factor
-  in
-  let f1 = eliminate st.cost1 in
-  st.obj1 <- st.obj1 +. (f1 *. brow);
-  let f2 = eliminate st.cost2 in
-  st.obj2 <- st.obj2 +. (f2 *. brow);
-  (* Devex weight update over the (normalized) pivot row. *)
-  let wq = Float.max st.devex.(jp) 1.0 in
-  for j = 0 to width - 1 do
-    let a = Array.unsafe_get prow j in
-    if a <> 0.0 then begin
-      let cand = a *. a *. wq in
-      if cand > Array.unsafe_get st.devex j then Array.unsafe_set st.devex j cand
-    end
-  done;
-  st.devex.(jp) <- Float.max (wq /. (piv *. piv)) 1.0;
-  (* Reset the reference framework when weights blow up. *)
-  if st.devex.(jp) > 1e10 || wq > 1e10 then Array.fill st.devex 0 width 1.0;
-  st.basis.(ip) <- jp;
-  st.pivots <- st.pivots + 1
-
-(* Entering column: Dantzig (most negative reduced cost), switching to
-   Bland's rule (lowest eligible index) after a long degenerate run.
-   [allow] filters columns (artificials are barred in phase 2). *)
-let entering st cost ~allow =
-  if st.degenerate_run > 100 then begin
-    let rec first j =
-      if j >= st.width then None
-      else if cost.(j) < -.eps && allow j then Some j
-      else first (j + 1)
-    in
-    first 0
-  end
-  else begin
-    (* Devex pricing: maximize d_j^2 / w_j over eligible columns. *)
-    let best = ref (-1) and best_score = ref 0.0 in
-    for j = 0 to st.width - 1 do
-      let c = Array.unsafe_get cost j in
-      if c < -.eps && allow j then begin
-        let score = c *. c /. Array.unsafe_get st.devex j in
-        if score > !best_score then begin
-          best := j;
-          best_score := score
-        end
-      end
-    done;
-    if !best < 0 then None else Some !best
-  end
-
-(* Leaving row for entering column [jp]: minimum ratio test; among near-tied
-   ratios prefer the largest pivot element for numerical stability, breaking
-   remaining ties by smallest basis index (anti-cycling aid). *)
-let leaving st jp =
-  let best = ref (-1) and best_ratio = ref infinity and best_piv = ref 0.0 in
-  for i = 0 to st.m - 1 do
-    if st.active.(i) then begin
-      let a = st.tab.(i).(jp) in
-      if a > eps then begin
-        let ratio = st.b.(i) /. a in
-        let improves =
-          ratio < !best_ratio -. 1e-10
-          || (ratio < !best_ratio +. 1e-10
-              && (a > !best_piv +. 1e-12
-                  || (Float.abs (a -. !best_piv) <= 1e-12
-                      && !best >= 0
-                      && st.basis.(i) < st.basis.(!best))))
-        in
-        if improves then begin
-          best := i;
-          best_ratio := ratio;
-          best_piv := a
-        end
-      end
-    end
-  done;
-  if !best < 0 then None else Some (!best, !best_ratio)
-
 type phase_end = Phase_optimal | Phase_unbounded | Phase_limit
 
-let run_phase st cost ~allow ~max_pivots =
-  let rec loop () =
-    if st.pivots >= max_pivots then Phase_limit
-    else begin
-      match entering st cost ~allow with
-      | None -> Phase_optimal
-      | Some jp -> begin
-          match leaving st jp with
-          | None -> Phase_unbounded
-          | Some (ip, ratio) ->
-            if ratio < 1e-10 then
-              st.degenerate_run <- st.degenerate_run + 1
-            else st.degenerate_run <- 0;
-            pivot st ip jp;
-            loop ()
-        end
-    end
-  in
-  loop ()
+let default_budget m n = Int.max 100_000 (40 * (m + n))
 
-(* After phase 1, no artificial variable may remain basic with a nonzero
-   value. Basic artificials at zero are pivoted out on any usable column;
-   if the whole row is zero over real columns the constraint was redundant
-   and the row is deactivated. *)
-let purge_artificials st =
-  for i = 0 to st.m - 1 do
-    if st.active.(i) && is_artificial st st.basis.(i) then begin
-      let row = st.tab.(i) in
-      let jp = ref (-1) in
-      let j = ref 0 in
-      let real_width = st.width - st.n_art in
-      while !jp < 0 && !j < real_width do
-        if Float.abs row.(!j) > 1e-7 then jp := !j;
-        incr j
-      done;
-      if !jp >= 0 then pivot st i !jp else st.active.(i) <- false
-    end
-  done
+(* ---- shared preprocessing ----
+   Equilibrate the constraint matrix, then normalize every row: scale by
+   max |coeff| and flip sign so rhs >= 0.
 
-let solve ?max_pivots ~obj ~rows ~cmps ~rhs () =
-  let n = Array.length obj in
+   Column scaling matters on the R3 dualized LPs: capacities (1e2..1e4),
+   demands and unit routing coefficients coexist in one matrix, and an
+   unequilibrated tableau forces pivots on relatively tiny elements whose
+   huge ratios wreck primal feasibility of the excluded rows. Each column
+   is scaled by 1/sqrt(max.min) of its nonzero magnitudes (geometric
+   equilibration); the caller multiplies objective coefficients by
+   [col_scale] and recovers [x_j = y_j * col_scale.(j)].
+
+   Returns the scaled rows, the (possibly flipped) comparators, the scaled
+   rhs, the slack count, the per-row artificial-variable flags, the
+   artificial count and the column scales. *)
+let prepare ~n ~rows ~cmps ~rhs =
   let m = Array.length rows in
   if Array.length cmps <> m || Array.length rhs <> m then
-    invalid_arg "Simplex.solve: rows/cmps/rhs length mismatch";
-  (* Normalize every row: scale by max |coeff|, then flip sign so rhs >= 0. *)
+    invalid_arg "Simplex: rows/cmps/rhs length mismatch";
+  let col_max = Array.make n 0.0 and col_min = Array.make n infinity in
+  Array.iter
+    (fun (idx, coef) ->
+      Array.iteri
+        (fun t j ->
+          let a = Float.abs coef.(t) in
+          if a > 0.0 then begin
+            if a > col_max.(j) then col_max.(j) <- a;
+            if a < col_min.(j) then col_min.(j) <- a
+          end)
+        idx)
+    rows;
+  let col_scale =
+    Array.init n (fun j ->
+        if col_max.(j) > 0.0 then 1.0 /. sqrt (col_max.(j) *. col_min.(j))
+        else 1.0)
+  in
   let scaled_rows = Array.make m ([||], [||]) in
   let cmps = Array.copy cmps in
   let b0 = Array.copy rhs in
   let n_slack = ref 0 in
   for i = 0 to m - 1 do
     let idx, coef = rows.(i) in
-    let coef = Array.copy coef in
+    let coef = Array.mapi (fun t c -> c *. col_scale.(idx.(t))) coef in
     let scale = Array.fold_left (fun a c -> Float.max a (Float.abs c)) 0.0 coef in
     let scale = if scale > 0.0 then scale else 1.0 in
     let flip = b0.(i) /. scale < 0.0 in
@@ -223,80 +79,787 @@ let solve ?max_pivots ~obj ~rows ~cmps ~rhs () =
   (* A row needs an artificial unless its (+1) slack can start basic. *)
   let needs_art = Array.map (fun c -> c <> Le) cmps in
   let n_art = Array.fold_left (fun a v -> if v then a + 1 else a) 0 needs_art in
-  let width = n + !n_slack + n_art in
-  let st =
-    {
-      m;
-      width;
-      n_struct = n;
-      n_art;
-      tab = Array.init m (fun _ -> Array.make width 0.0);
-      b = b0;
-      basis = Array.make m (-1);
-      active = Array.make m true;
-      cost1 = Array.make width 0.0;
-      cost2 = Array.make width 0.0;
-      devex = Array.make width 1.0;
-      obj1 = 0.0;
-      obj2 = 0.0;
-      pivots = 0;
-      degenerate_run = 0;
-    }
-  in
-  Array.blit obj 0 st.cost2 0 n;
-  let next_slack = ref n and next_art = ref (n + !n_slack) in
-  for i = 0 to m - 1 do
-    let idx, coef = scaled_rows.(i) in
-    let row = st.tab.(i) in
-    Array.iteri (fun t j -> row.(j) <- row.(j) +. coef.(t)) idx;
-    (match cmps.(i) with
-    | Le ->
-      row.(!next_slack) <- 1.0;
-      st.basis.(i) <- !next_slack;
-      incr next_slack
-    | Ge ->
-      row.(!next_slack) <- -1.0;
-      incr next_slack
-    | Eq -> ());
-    if needs_art.(i) then begin
-      row.(!next_art) <- 1.0;
-      st.basis.(i) <- !next_art;
-      (* Phase-1 reduced costs: c1_j - (row sums over artificial rows). *)
-      for j = 0 to width - 1 do
-        if j <> !next_art then st.cost1.(j) <- st.cost1.(j) -. row.(j)
-      done;
-      st.obj1 <- st.obj1 +. st.b.(i);
-      incr next_art
-    end
-  done;
-  let max_pivots =
-    match max_pivots with Some k -> k | None -> Int.max 100_000 (40 * (m + n))
-  in
-  let allow_all _ = true in
-  let fail status = { status; x = Array.make n 0.0; objective = 0.0; pivots = st.pivots } in
-  let phase1 =
-    if n_art = 0 then Phase_optimal
-    else run_phase st st.cost1 ~allow:allow_all ~max_pivots
-  in
-  match phase1 with
-  | Phase_limit -> fail Iteration_limit
-  | Phase_unbounded ->
-    (* Phase-1 objective is bounded below by 0; cannot be unbounded. *)
-    fail Infeasible
-  | Phase_optimal ->
-    if st.obj1 > feas_tol then fail Infeasible
-    else begin
-      purge_artificials st;
-      st.degenerate_run <- 0;
-      let allow j = not (is_artificial st j) in
-      match run_phase st st.cost2 ~allow ~max_pivots with
-      | Phase_limit -> fail Iteration_limit
-      | Phase_unbounded -> fail Unbounded
-      | Phase_optimal ->
-        let x = Array.make n 0.0 in
-        for i = 0 to m - 1 do
-          if st.active.(i) && st.basis.(i) < n then x.(st.basis.(i)) <- st.b.(i)
+  (scaled_rows, cmps, b0, !n_slack, needs_art, n_art, col_scale)
+
+(* ==================================================================== *)
+(* Dense backend: full tableau rows, kept as the reference
+   implementation (and for benchmarking the sparse core against).       *)
+(* ==================================================================== *)
+
+module Dense = struct
+  (* Mutable solver state. The tableau stores, for each active row, the full
+     dense row over [width] columns (structural + slack + artificial). Two
+     reduced-cost rows are maintained simultaneously so that phase 2 can start
+     immediately once phase 1 ends. *)
+  type state = {
+    m : int;
+    width : int;
+    n_struct : int;
+    n_art : int;  (* artificial columns occupy [width - n_art, width) *)
+    tab : float array array;
+    b : float array;
+    basis : int array;
+    active : bool array;
+    cost1 : float array;  (* phase-1 reduced costs *)
+    cost2 : float array;  (* phase-2 reduced costs *)
+    devex : float array;  (* Devex reference weights for pricing *)
+    mutable obj1 : float;  (* phase-1 objective (sum of artificials) *)
+    mutable obj2 : float;  (* phase-2 objective (c . x) *)
+    mutable pivots : int;
+    mutable degenerate_run : int;
+  }
+
+  let is_artificial st j = j >= st.width - st.n_art
+
+  (* Pivot on (row [ip], column [jp]): normalize the pivot row, eliminate the
+     column from every other active row and from both cost rows. *)
+  let pivot st ip jp =
+    let tab = st.tab and b = st.b in
+    let prow = tab.(ip) in
+    let piv = prow.(jp) in
+    let inv = 1.0 /. piv in
+    let width = st.width in
+    for j = 0 to width - 1 do
+      Array.unsafe_set prow j (Array.unsafe_get prow j *. inv)
+    done;
+    prow.(jp) <- 1.0;
+    b.(ip) <- b.(ip) *. inv;
+    let brow = b.(ip) in
+    for i = 0 to st.m - 1 do
+      if i <> ip && st.active.(i) then begin
+        let row = Array.unsafe_get tab i in
+        let factor = Array.unsafe_get row jp in
+        if Float.abs factor > 1e-13 then begin
+          for j = 0 to width - 1 do
+            Array.unsafe_set row j
+              (Array.unsafe_get row j -. (factor *. Array.unsafe_get prow j))
+          done;
+          row.(jp) <- 0.0;
+          b.(i) <- b.(i) -. (factor *. brow);
+          if b.(i) < 0.0 && b.(i) > -1e-11 then b.(i) <- 0.0
+        end
+      end
+    done;
+    let eliminate cost =
+      let factor = cost.(jp) in
+      if Float.abs factor > 1e-13 then begin
+        for j = 0 to width - 1 do
+          Array.unsafe_set cost j
+            (Array.unsafe_get cost j -. (factor *. Array.unsafe_get prow j))
         done;
-        let objective = Array.fold_left ( +. ) 0.0 (Array.mapi (fun j c -> c *. x.(j)) obj) in
-        { status = Optimal; x; objective; pivots = st.pivots }
+        cost.(jp) <- 0.0
+      end;
+      factor
+    in
+    let f1 = eliminate st.cost1 in
+    st.obj1 <- st.obj1 +. (f1 *. brow);
+    let f2 = eliminate st.cost2 in
+    st.obj2 <- st.obj2 +. (f2 *. brow);
+    (* Devex weight update over the (normalized) pivot row. *)
+    let wq = Float.max st.devex.(jp) 1.0 in
+    for j = 0 to width - 1 do
+      let a = Array.unsafe_get prow j in
+      if a <> 0.0 then begin
+        let cand = a *. a *. wq in
+        if cand > Array.unsafe_get st.devex j then Array.unsafe_set st.devex j cand
+      end
+    done;
+    st.devex.(jp) <- Float.max (wq /. (piv *. piv)) 1.0;
+    (* Reset the reference framework when weights blow up. *)
+    if st.devex.(jp) > 1e10 || wq > 1e10 then Array.fill st.devex 0 width 1.0;
+    st.basis.(ip) <- jp;
+    st.pivots <- st.pivots + 1
+
+  (* Entering column: Devex pricing, switching to Bland's rule (lowest
+     eligible index) after a long degenerate run. [allow] filters columns
+     (artificials are barred in phase 2). *)
+  let entering st cost ~allow =
+    if st.degenerate_run > 100 then begin
+      let rec first j =
+        if j >= st.width then None
+        else if cost.(j) < -.eps && allow j then Some j
+        else first (j + 1)
+      in
+      first 0
     end
+    else begin
+      (* Devex pricing: maximize d_j^2 / w_j over eligible columns. *)
+      let best = ref (-1) and best_score = ref 0.0 in
+      for j = 0 to st.width - 1 do
+        let c = Array.unsafe_get cost j in
+        if c < -.eps && allow j then begin
+          let score = c *. c /. Array.unsafe_get st.devex j in
+          if score > !best_score then begin
+            best := j;
+            best_score := score
+          end
+        end
+      done;
+      if !best < 0 then None else Some !best
+    end
+
+  (* Leaving row for entering column [jp]: Harris-style two-pass ratio test.
+     Pass 1 finds the tightest ratio; pass 2 picks, among rows whose ratio is
+     within a *relative* tolerance of it, the one with the largest pivot
+     element (smallest basis index on exact ties, an anti-cycling aid).
+     An absolute tie window is useless here: at ratios of 1e6 it degenerates
+     to "first minimum", which happily pivots on near-[eps] elements and
+     destroys the tableau. Negative basic values (numerical drift) are
+     treated as zero, so their rows surface as degenerate ratio-0 pivots
+     that restore feasibility instead of producing negative ratios. *)
+  let leaving st jp =
+    let theta = ref infinity in
+    for i = 0 to st.m - 1 do
+      if st.active.(i) then begin
+        let a = st.tab.(i).(jp) in
+        if a > eps then begin
+          let ratio = Float.max st.b.(i) 0.0 /. a in
+          if ratio < !theta then theta := ratio
+        end
+      end
+    done;
+    if !theta = infinity then None
+    else begin
+      let lim = !theta +. (1e-7 *. (1.0 +. !theta)) in
+      let best = ref (-1) and best_piv = ref 0.0 in
+      for i = 0 to st.m - 1 do
+        if st.active.(i) then begin
+          let a = st.tab.(i).(jp) in
+          if a > eps && Float.max st.b.(i) 0.0 /. a <= lim then
+            if
+              a > !best_piv
+              || (a = !best_piv && !best >= 0 && st.basis.(i) < st.basis.(!best))
+            then begin
+              best := i;
+              best_piv := a
+            end
+        end
+      done;
+      Some (!best, Float.max st.b.(!best) 0.0 /. !best_piv)
+    end
+
+  let run_phase st cost ~allow ~max_pivots =
+    let rec loop () =
+      if st.pivots >= max_pivots then Phase_limit
+      else begin
+        match entering st cost ~allow with
+        | None -> Phase_optimal
+        | Some jp -> begin
+            match leaving st jp with
+            | None -> Phase_unbounded
+            | Some (ip, ratio) ->
+              if ratio < 1e-10 then
+                st.degenerate_run <- st.degenerate_run + 1
+              else st.degenerate_run <- 0;
+              (* A drifted-negative basic value leaves on a ratio-0 pivot;
+                 make the repair exact. *)
+              if st.b.(ip) < 0.0 then st.b.(ip) <- 0.0;
+              pivot st ip jp;
+              loop ()
+          end
+      end
+    in
+    loop ()
+
+  (* After phase 1, no artificial variable may remain basic with a nonzero
+     value. Basic artificials at zero are pivoted out on any usable column;
+     if the whole row is zero over real columns the constraint was redundant
+     and the row is deactivated. *)
+  let purge_artificials st =
+    for i = 0 to st.m - 1 do
+      if st.active.(i) && is_artificial st st.basis.(i) then begin
+        let row = st.tab.(i) in
+        let jp = ref (-1) in
+        let j = ref 0 in
+        let real_width = st.width - st.n_art in
+        while !jp < 0 && !j < real_width do
+          if Float.abs row.(!j) > 1e-7 then jp := !j;
+          incr j
+        done;
+        if !jp >= 0 then pivot st i !jp else st.active.(i) <- false
+      end
+    done
+
+  let solve ?max_pivots ~obj ~rows ~cmps ~rhs () =
+    let n = Array.length obj in
+    let m = Array.length rows in
+    let scaled_rows, cmps, b0, n_slack, needs_art, n_art, col_scale =
+      prepare ~n ~rows ~cmps ~rhs
+    in
+    let width = n + n_slack + n_art in
+    let st =
+      {
+        m;
+        width;
+        n_struct = n;
+        n_art;
+        tab = Array.init m (fun _ -> Array.make width 0.0);
+        b = b0;
+        basis = Array.make m (-1);
+        active = Array.make m true;
+        cost1 = Array.make width 0.0;
+        cost2 = Array.make width 0.0;
+        devex = Array.make width 1.0;
+        obj1 = 0.0;
+        obj2 = 0.0;
+        pivots = 0;
+        degenerate_run = 0;
+      }
+    in
+    for j = 0 to n - 1 do
+      st.cost2.(j) <- obj.(j) *. col_scale.(j)
+    done;
+    let next_slack = ref n and next_art = ref (n + n_slack) in
+    for i = 0 to m - 1 do
+      let idx, coef = scaled_rows.(i) in
+      let row = st.tab.(i) in
+      Array.iteri (fun t j -> row.(j) <- row.(j) +. coef.(t)) idx;
+      (match cmps.(i) with
+      | Le ->
+        row.(!next_slack) <- 1.0;
+        st.basis.(i) <- !next_slack;
+        incr next_slack
+      | Ge ->
+        row.(!next_slack) <- -1.0;
+        incr next_slack
+      | Eq -> ());
+      if needs_art.(i) then begin
+        row.(!next_art) <- 1.0;
+        st.basis.(i) <- !next_art;
+        (* Phase-1 reduced costs: c1_j - (row sums over artificial rows). *)
+        for j = 0 to width - 1 do
+          if j <> !next_art then st.cost1.(j) <- st.cost1.(j) -. row.(j)
+        done;
+        st.obj1 <- st.obj1 +. st.b.(i);
+        incr next_art
+      end
+    done;
+    let max_pivots =
+      match max_pivots with Some k -> k | None -> default_budget m n
+    in
+    let allow_all _ = true in
+    let fail status =
+      { status; x = Array.make n 0.0; objective = 0.0; pivots = st.pivots }
+    in
+    let phase1 =
+      if n_art = 0 then Phase_optimal
+      else run_phase st st.cost1 ~allow:allow_all ~max_pivots
+    in
+    match phase1 with
+    | Phase_limit -> fail Iteration_limit
+    | Phase_unbounded ->
+      (* Phase-1 objective is bounded below by 0; cannot be unbounded. *)
+      fail Infeasible
+    | Phase_optimal ->
+      if st.obj1 > feas_tol then fail Infeasible
+      else begin
+        purge_artificials st;
+        st.degenerate_run <- 0;
+        let allow j = not (is_artificial st j) in
+        match run_phase st st.cost2 ~allow ~max_pivots with
+        | Phase_limit -> fail Iteration_limit
+        | Phase_unbounded -> fail Unbounded
+        | Phase_optimal ->
+          let x = Array.make n 0.0 in
+          for i = 0 to m - 1 do
+            if st.active.(i) && st.basis.(i) < n then
+              x.(st.basis.(i)) <- st.b.(i) *. col_scale.(st.basis.(i))
+          done;
+          let objective =
+            Array.fold_left ( +. ) 0.0 (Array.mapi (fun j c -> c *. x.(j)) obj)
+          in
+          { status = Optimal; x; objective; pivots = st.pivots }
+      end
+end
+
+(* ==================================================================== *)
+(* Sparse backend: tableau rows are Sparse.t, so pivoting, cost-row
+   elimination and Devex updates all run in O(nnz) instead of O(width).
+   The same state doubles as a warm-startable session - columns and rows
+   may be appended after a solve, and dual-simplex pivots restore primal
+   feasibility without re-running the two-phase method.                 *)
+(* ==================================================================== *)
+
+module Sp = struct
+  type state = {
+    n_struct : int;
+    art_lo : int;  (* initial artificial columns occupy [art_lo, art_hi) *)
+    art_hi : int;
+    budget : int;  (* pivot budget per (re-)solve *)
+    obj : float array;
+    col_scale : float array;  (* structural-column equilibration factors *)
+    scratch : Sparse.scratch;  (* recycled axpy merge buffer *)
+    mutable cand_i : int array;  (* ratio-test candidates, reused per call *)
+    mutable cand_a : float array;
+    mutable col_j : int;  (* column cached in [col_v], or -1 *)
+    mutable col_v : float array;  (* per-row coefficients of column [col_j] *)
+    mutable m : int;
+    mutable width : int;
+    mutable rows : Sparse.t array;  (* capacity-managed, first [m] used *)
+    mutable b : float array;
+    mutable basis : int array;
+    mutable active : bool array;
+    mutable cost1 : float array;  (* capacity-managed, first [width] used *)
+    mutable cost2 : float array;
+    mutable devex : float array;
+    mutable obj1 : float;
+    mutable obj2 : float;
+    mutable pivots : int;
+    mutable degenerate_run : int;
+    mutable valid : bool;  (* last solve ended [Optimal]: warm restart ok *)
+  }
+
+  let is_artificial st j = j >= st.art_lo && j < st.art_hi
+
+  let grow_cols st extra =
+    let need = st.width + extra in
+    if Array.length st.cost1 < need then begin
+      let cap = Int.max need (2 * Array.length st.cost1) in
+      let grow a fill =
+        let b = Array.make cap fill in
+        Array.blit a 0 b 0 st.width;
+        b
+      in
+      st.cost1 <- grow st.cost1 0.0;
+      st.cost2 <- grow st.cost2 0.0;
+      st.devex <- grow st.devex 1.0
+    end
+
+  let grow_rows st extra =
+    let need = st.m + extra in
+    if Array.length st.b < need then begin
+      let cap = Int.max need (2 * Array.length st.b) in
+      let rows = Array.make cap (Sparse.create ~cap:1 ()) in
+      Array.blit st.rows 0 rows 0 st.m;
+      let b = Array.make cap 0.0 in
+      Array.blit st.b 0 b 0 st.m;
+      let basis = Array.make cap (-1) in
+      Array.blit st.basis 0 basis 0 st.m;
+      let active = Array.make cap false in
+      Array.blit st.active 0 active 0 st.m;
+      st.rows <- rows;
+      st.b <- b;
+      st.basis <- basis;
+      st.active <- active;
+      st.cand_i <- Array.make cap 0;
+      st.cand_a <- Array.make cap 0.0;
+      st.col_j <- -1;
+      st.col_v <- Array.make cap 0.0
+    end
+
+  (* Pivot on (row [ip], column [jp]); mirrors {!Dense.pivot} but touches
+     only stored nonzeros. When [leaving] just scanned column [jp] its
+     per-row coefficients are in [col_v], saving a second round of binary
+     searches. *)
+  let pivot st ip jp =
+    let prow = st.rows.(ip) in
+    let piv = Sparse.get prow jp in
+    Sparse.scale prow (1.0 /. piv);
+    Sparse.set prow jp 1.0;
+    st.b.(ip) <- st.b.(ip) /. piv;
+    let brow = st.b.(ip) in
+    let cached = st.col_j = jp in
+    for i = 0 to st.m - 1 do
+      if i <> ip && st.active.(i) then begin
+        let row = st.rows.(i) in
+        let factor =
+          if cached then Array.unsafe_get st.col_v i else Sparse.get row jp
+        in
+        if Float.abs factor > 1e-13 then begin
+          Sparse.axpy ~scratch:st.scratch ~y:row ~x:prow factor;
+          Sparse.clear row jp;
+          st.b.(i) <- st.b.(i) -. (factor *. brow);
+          if st.b.(i) < 0.0 && st.b.(i) > -1e-11 then st.b.(i) <- 0.0
+        end
+      end
+    done;
+    st.col_j <- -1;
+    let pidx, pv, pn = Sparse.raw prow in
+    let eliminate cost =
+      let factor = cost.(jp) in
+      if Float.abs factor > 1e-13 then begin
+        for s = 0 to pn - 1 do
+          let j = Array.unsafe_get pidx s in
+          Array.unsafe_set cost j
+            (Array.unsafe_get cost j -. (factor *. Array.unsafe_get pv s))
+        done;
+        cost.(jp) <- 0.0
+      end;
+      factor
+    in
+    let f1 = eliminate st.cost1 in
+    st.obj1 <- st.obj1 +. (f1 *. brow);
+    let f2 = eliminate st.cost2 in
+    st.obj2 <- st.obj2 +. (f2 *. brow);
+    (* Devex weight update over the (normalized) pivot row. *)
+    let wq = Float.max st.devex.(jp) 1.0 in
+    for s = 0 to pn - 1 do
+      let a = Array.unsafe_get pv s in
+      let cand = a *. a *. wq in
+      let j = Array.unsafe_get pidx s in
+      if cand > Array.unsafe_get st.devex j then Array.unsafe_set st.devex j cand
+    done;
+    st.devex.(jp) <- Float.max (wq /. (piv *. piv)) 1.0;
+    if st.devex.(jp) > 1e10 || wq > 1e10 then Array.fill st.devex 0 st.width 1.0;
+    st.basis.(ip) <- jp;
+    st.pivots <- st.pivots + 1
+
+  let entering st cost ~allow =
+    if st.degenerate_run > 100 then begin
+      let rec first j =
+        if j >= st.width then None
+        else if cost.(j) < -.eps && allow j then Some j
+        else first (j + 1)
+      in
+      first 0
+    end
+    else begin
+      let best = ref (-1) and best_score = ref 0.0 in
+      for j = 0 to st.width - 1 do
+        let c = Array.unsafe_get cost j in
+        if c < -.eps && allow j then begin
+          let score = c *. c /. Array.unsafe_get st.devex j in
+          if score > !best_score then begin
+            best := j;
+            best_score := score
+          end
+        end
+      done;
+      if !best < 0 then None else Some !best
+    end
+
+  (* Harris-style two-pass ratio test; see {!Dense.leaving}. The column
+     lookups are binary searches here, so pass 1 records the (usually few)
+     candidate rows and pass 2 revisits only those. The full column is
+     cached in [col_v] for the {!pivot} that typically follows. *)
+  let leaving st jp =
+    let cand_i = st.cand_i and cand_a = st.cand_a in
+    let nc = ref 0 and theta = ref infinity in
+    for i = 0 to st.m - 1 do
+      if st.active.(i) then begin
+        let a = Sparse.get st.rows.(i) jp in
+        st.col_v.(i) <- a;
+        if a > eps then begin
+          cand_i.(!nc) <- i;
+          cand_a.(!nc) <- a;
+          incr nc;
+          let ratio = Float.max st.b.(i) 0.0 /. a in
+          if ratio < !theta then theta := ratio
+        end
+      end
+    done;
+    st.col_j <- jp;
+    if !nc = 0 then None
+    else begin
+      let lim = !theta +. (1e-7 *. (1.0 +. !theta)) in
+      (* Largest pivot element within the tolerance, ties to the smallest
+         basis index, exactly as in {!Dense.leaving}. (A Markowitz-style
+         sparsest-row tie-break was tried here to curb fill-in: accepting
+         pivots down to half the largest admissible element let feasibility
+         drift below the true optimum on fill-heavy instances. Keeping the
+         pure largest-pivot rule keeps both backends on certified optima.) *)
+      let best = ref (-1) and best_piv = ref 0.0 in
+      for s = 0 to !nc - 1 do
+        let i = cand_i.(s) and a = cand_a.(s) in
+        if Float.max st.b.(i) 0.0 /. a <= lim then
+          if
+            a > !best_piv
+            || (a = !best_piv && !best >= 0 && st.basis.(i) < st.basis.(!best))
+          then begin
+            best := i;
+            best_piv := a
+          end
+      done;
+      Some (!best, Float.max st.b.(!best) 0.0 /. !best_piv)
+    end
+
+  let run_phase st cost ~allow ~max_pivots =
+    let rec loop () =
+      if st.pivots >= max_pivots then Phase_limit
+      else begin
+        match entering st cost ~allow with
+        | None -> Phase_optimal
+        | Some jp -> begin
+            match leaving st jp with
+            | None -> Phase_unbounded
+            | Some (ip, ratio) ->
+              if ratio < 1e-10 then
+                st.degenerate_run <- st.degenerate_run + 1
+              else st.degenerate_run <- 0;
+              if st.b.(ip) < 0.0 then st.b.(ip) <- 0.0;
+              pivot st ip jp;
+              loop ()
+          end
+      end
+    in
+    loop ()
+
+  let purge_artificials st =
+    for i = 0 to st.m - 1 do
+      if st.active.(i) && is_artificial st st.basis.(i) then begin
+        let row = st.rows.(i) in
+        (* first real (non-artificial) column with a usable coefficient;
+           sparse iteration visits columns in increasing order. *)
+        let jp = ref (-1) in
+        (try
+           Sparse.iter
+             (fun j x ->
+               if (not (is_artificial st j)) && Float.abs x > 1e-7 then begin
+                 jp := j;
+                 raise Exit
+               end)
+             row
+         with Exit -> ());
+        if !jp >= 0 then pivot st i !jp else st.active.(i) <- false
+      end
+    done
+
+  let build ?max_pivots ~obj ~rows ~cmps ~rhs () =
+    let n = Array.length obj in
+    let m = Array.length rows in
+    let scaled_rows, cmps, b0, n_slack, needs_art, n_art, col_scale =
+      prepare ~n ~rows ~cmps ~rhs
+    in
+    let width = n + n_slack + n_art in
+    let cap_w = Int.max width 1 and cap_m = Int.max m 1 in
+    let st =
+      {
+        n_struct = n;
+        art_lo = n + n_slack;
+        art_hi = width;
+        budget = (match max_pivots with Some k -> k | None -> default_budget m n);
+        obj = Array.copy obj;
+        col_scale;
+        scratch = Sparse.scratch ();
+        cand_i = Array.make cap_m 0;
+        cand_a = Array.make cap_m 0.0;
+        col_j = -1;
+        col_v = Array.make cap_m 0.0;
+        m;
+        width;
+        rows = Array.init cap_m (fun _ -> Sparse.create ~cap:1 ());
+        b = (let b = Array.make cap_m 0.0 in Array.blit b0 0 b 0 m; b);
+        basis = Array.make cap_m (-1);
+        active = Array.make cap_m true;
+        cost1 = Array.make cap_w 0.0;
+        cost2 = Array.make cap_w 0.0;
+        devex = Array.make cap_w 1.0;
+        obj1 = 0.0;
+        obj2 = 0.0;
+        pivots = 0;
+        degenerate_run = 0;
+        valid = false;
+      }
+    in
+    for j = 0 to n - 1 do
+      st.cost2.(j) <- obj.(j) *. col_scale.(j)
+    done;
+    let next_slack = ref n and next_art = ref (n + n_slack) in
+    for i = 0 to m - 1 do
+      let idx, coef = scaled_rows.(i) in
+      let row = Sparse.of_pairs idx coef in
+      st.rows.(i) <- row;
+      (match cmps.(i) with
+      | Le ->
+        Sparse.set row !next_slack 1.0;
+        st.basis.(i) <- !next_slack;
+        incr next_slack
+      | Ge ->
+        Sparse.set row !next_slack (-1.0);
+        incr next_slack
+      | Eq -> ());
+      if needs_art.(i) then begin
+        Sparse.set row !next_art 1.0;
+        st.basis.(i) <- !next_art;
+        let own = !next_art in
+        Sparse.iter
+          (fun j x -> if j <> own then st.cost1.(j) <- st.cost1.(j) -. x)
+          row;
+        st.obj1 <- st.obj1 +. st.b.(i);
+        incr next_art
+      end
+    done;
+    st
+
+  let fail st status =
+    { status; x = Array.make st.n_struct 0.0; objective = 0.0; pivots = st.pivots }
+
+  let extract st =
+    let n = st.n_struct in
+    let x = Array.make n 0.0 in
+    for i = 0 to st.m - 1 do
+      if st.active.(i) && st.basis.(i) < n then
+        x.(st.basis.(i)) <- st.b.(i) *. st.col_scale.(st.basis.(i))
+    done;
+    let objective = ref 0.0 in
+    Array.iteri (fun j c -> objective := !objective +. (c *. x.(j))) st.obj;
+    { status = Optimal; x; objective = !objective; pivots = st.pivots }
+
+  let first_solve st =
+    let max_pivots = st.budget in
+    let allow_all _ = true in
+    let phase1 =
+      if st.art_hi = st.art_lo then Phase_optimal
+      else run_phase st st.cost1 ~allow:allow_all ~max_pivots
+    in
+    match phase1 with
+    | Phase_limit -> fail st Iteration_limit
+    | Phase_unbounded -> fail st Infeasible
+    | Phase_optimal ->
+      if st.obj1 > feas_tol then fail st Infeasible
+      else begin
+        purge_artificials st;
+        st.degenerate_run <- 0;
+        let allow j = not (is_artificial st j) in
+        (match run_phase st st.cost2 ~allow ~max_pivots with
+        | Phase_limit -> fail st Iteration_limit
+        | Phase_unbounded -> fail st Unbounded
+        | Phase_optimal ->
+          st.valid <- true;
+          extract st)
+      end
+
+  (* Append [lhs <= rhs], expressed over the current basis: basic columns
+     are eliminated against their (unit-column) rows, then the row enters
+     with its own fresh slack variable as basis. The resulting [b] may be
+     negative - {!resolve}'s dual simplex repairs that. *)
+  let append_le st (idx, coef) rhs =
+    st.col_j <- -1;
+    (* Same column equilibration as the initial rows, then row scaling. *)
+    let coef = Array.mapi (fun t c -> c *. st.col_scale.(idx.(t))) coef in
+    let scale = Array.fold_left (fun a c -> Float.max a (Float.abs c)) 0.0 coef in
+    let scale = if scale > 0.0 then scale else 1.0 in
+    let k = 1.0 /. scale in
+    Array.iteri (fun t c -> coef.(t) <- c *. k) coef;
+    let rhs = ref (rhs *. k) in
+    let r = Sparse.of_pairs idx coef in
+    for i = 0 to st.m - 1 do
+      if st.active.(i) then begin
+        let jb = st.basis.(i) in
+        let factor = Sparse.get r jb in
+        if factor <> 0.0 then begin
+          Sparse.axpy ~scratch:st.scratch ~y:r ~x:st.rows.(i) factor;
+          Sparse.clear r jb;
+          rhs := !rhs -. (factor *. st.b.(i))
+        end
+      end
+    done;
+    grow_cols st 1;
+    let s = st.width in
+    st.width <- st.width + 1;
+    st.cost1.(s) <- 0.0;
+    st.cost2.(s) <- 0.0;
+    st.devex.(s) <- 1.0;
+    Sparse.set r s 1.0;
+    grow_rows st 1;
+    let i = st.m in
+    st.m <- st.m + 1;
+    st.rows.(i) <- r;
+    st.b.(i) <- !rhs;
+    st.basis.(i) <- s;
+    st.active.(i) <- true
+
+  let add_row st (idx, coef) cmp rhs =
+    match cmp with
+    | Le -> append_le st (idx, coef) rhs
+    | Ge -> append_le st (idx, Array.map Float.neg coef) (-.rhs)
+    | Eq ->
+      append_le st (idx, coef) rhs;
+      append_le st (idx, Array.map Float.neg coef) (-.rhs)
+
+  (* Dual simplex: while some basic value is negative, leave on the most
+     negative row and enter on the column minimizing the dual ratio
+     [cost2_j / -a_j] over the row's negative entries, which preserves
+     dual feasibility (all reduced costs stay >= 0). *)
+  let dual_restore st =
+    let limit = st.pivots + st.budget in
+    let rec loop () =
+      if st.pivots >= limit then Phase_limit
+      else begin
+        let ip = ref (-1) and bmin = ref (-1e-9) in
+        for i = 0 to st.m - 1 do
+          if st.active.(i) && st.b.(i) < !bmin then begin
+            ip := i;
+            bmin := st.b.(i)
+          end
+        done;
+        if !ip < 0 then Phase_optimal
+        else begin
+          let prow = st.rows.(!ip) in
+          let jp = ref (-1) and best = ref infinity and best_a = ref 0.0 in
+          Sparse.iter
+            (fun j a ->
+              if a < -.eps && not (is_artificial st j) then begin
+                let ratio = st.cost2.(j) /. -.a in
+                if
+                  ratio < !best -. 1e-12
+                  || (ratio < !best +. 1e-12 && Float.abs a > Float.abs !best_a)
+                then begin
+                  jp := j;
+                  best := ratio;
+                  best_a := a
+                end
+              end)
+            prow;
+          if !jp < 0 then Phase_unbounded (* dual unbounded = primal infeasible *)
+          else begin
+            pivot st !ip !jp;
+            loop ()
+          end
+        end
+      end
+    in
+    loop ()
+
+  let resolve st =
+    if not st.valid then fail st Iteration_limit
+    else begin
+      st.degenerate_run <- 0;
+      match dual_restore st with
+      | Phase_limit ->
+        st.valid <- false;
+        fail st Iteration_limit
+      | Phase_unbounded ->
+        st.valid <- false;
+        fail st Infeasible
+      | Phase_optimal -> begin
+        (* Clean up any residual negative reduced costs (numerical drift). *)
+        let allow j = not (is_artificial st j) in
+        match run_phase st st.cost2 ~allow ~max_pivots:(st.pivots + st.budget) with
+        | Phase_limit ->
+          st.valid <- false;
+          fail st Iteration_limit
+        | Phase_unbounded ->
+          st.valid <- false;
+          fail st Unbounded
+        | Phase_optimal -> extract st
+      end
+    end
+end
+
+let solve ?(backend = `Sparse) ?max_pivots ~obj ~rows ~cmps ~rhs () =
+  match backend with
+  | `Dense -> Dense.solve ?max_pivots ~obj ~rows ~cmps ~rhs ()
+  | `Sparse ->
+    let st = Sp.build ?max_pivots ~obj ~rows ~cmps ~rhs () in
+    Sp.first_solve st
+
+module Session = struct
+  type t = { st : Sp.state; mutable last : outcome }
+
+  let create ?max_pivots ~obj ~rows ~cmps ~rhs () =
+    let st = Sp.build ?max_pivots ~obj ~rows ~cmps ~rhs () in
+    let last = Sp.first_solve st in
+    { st; last }
+
+  let outcome s = s.last
+  let add_row s row cmp rhs = Sp.add_row s.st row cmp rhs
+
+  let resolve s =
+    let o = Sp.resolve s.st in
+    s.last <- o;
+    o
+
+  let pivots s = s.st.Sp.pivots
+  let warm_ok s = s.st.Sp.valid
+end

@@ -1,14 +1,26 @@
-(** Dense two-phase primal simplex over standard nonnegative variables.
+(** Two-phase primal simplex over standard nonnegative variables.
 
     This is the numerical core under {!Problem}; it solves
 
     {v  min c . x   s.t.  A x (<= | = | >=) b,   x >= 0  v}
 
     Phase 1 drives artificial variables to zero starting from a slack basis;
-    phase 2 optimizes the true objective. Dantzig pricing with a Bland
+    phase 2 optimizes the true objective. Devex pricing with a Bland
     fallback after a run of degenerate pivots provides anti-cycling. Rows are
     equilibrated (scaled by their max absolute coefficient) for numerical
-    robustness. *)
+    robustness.
+
+    Two interchangeable backends share this pivoting discipline:
+
+    - [`Sparse] (default) keeps every tableau row as a {!Sparse.t}; pivots,
+      cost-row eliminations and Devex updates run in O(nnz) rather than
+      O(columns). R3's constraint rows carry a handful of nonzeros out of
+      thousands of columns, so this is the production path.
+    - [`Dense] is the original full-tableau implementation, kept as the
+      reference oracle for tests and benchmarks.
+
+    Both backends return the same statuses and (within numerical tolerance)
+    the same objectives. *)
 
 type cmp = Le | Ge | Eq
 
@@ -25,10 +37,14 @@ type outcome = {
   pivots : int;  (** total pivot count across both phases *)
 }
 
+type backend = [ `Dense | `Sparse ]
+
 (** [solve ~obj ~rows ~cmps ~rhs] where [rows.(i)] is the sparse row
     [(indices, coefficients)] of constraint [i]. All variable indices must
-    be in [0, Array.length obj). [max_pivots] caps total pivots. *)
+    be in [0, Array.length obj). [max_pivots] caps total pivots.
+    [backend] selects the tableau representation (default [`Sparse]). *)
 val solve :
+  ?backend:backend ->
   ?max_pivots:int ->
   obj:float array ->
   rows:(int array * float array) array ->
@@ -36,3 +52,48 @@ val solve :
   rhs:float array ->
   unit ->
   outcome
+
+(** Warm-startable solver handle (sparse backend only).
+
+    {!Session.create} runs the full two-phase solve once; {!Session.add_row}
+    then appends constraints to the factorized tableau (each new row is
+    expressed over the current basis and given its own slack), and
+    {!Session.resolve} restores primal feasibility with dual-simplex pivots
+    instead of re-solving from scratch - the classic cutting-plane
+    work-loop. Pivot counts accumulate across the session, so
+    [pivots (resolve s)] is the total effort since [create]. *)
+module Session : sig
+  type t
+
+  (** Build the tableau and run the initial two-phase solve; the result is
+      available via {!outcome}. [max_pivots] is the pivot budget for the
+      initial solve and for each subsequent {!resolve}. *)
+  val create :
+    ?max_pivots:int ->
+    obj:float array ->
+    rows:(int array * float array) array ->
+    cmps:cmp array ->
+    rhs:float array ->
+    unit ->
+    t
+
+  (** Result of the last (re-)solve. *)
+  val outcome : t -> outcome
+
+  (** [add_row s (idx, coef) cmp rhs] appends a constraint over existing
+      variables. [Eq] rows are added as a [Le]/[Ge] pair. Takes effect at
+      the next {!resolve}. *)
+  val add_row : t -> int array * float array -> cmp -> float -> unit
+
+  (** Re-solve after {!add_row}s, reusing the current basis. Returns
+      [Iteration_limit] when the warm state is unusable (initial solve was
+      not optimal, or the dual repair exhausted its budget); callers should
+      then fall back to a cold solve. *)
+  val resolve : t -> outcome
+
+  (** Cumulative pivots since [create]. *)
+  val pivots : t -> int
+
+  (** Whether the session can warm-restart (last solve ended [Optimal]). *)
+  val warm_ok : t -> bool
+end

@@ -1,0 +1,72 @@
+(** Sparse row vectors for the simplex tableau.
+
+    A row is a pair of parallel arrays [(idx, v)] holding the column
+    indices (strictly increasing) and values of its nonzeros, with an
+    explicit length so rows can grow in place (CSR-style storage, one row
+    at a time). R3's constraint rows carry a handful of nonzeros out of
+    thousands of columns, so every kernel here is O(nnz), never O(width).
+
+    Values with magnitude below {!val-drop} are treated as structural
+    zeros and removed by the mutating kernels; this bounds fill-in during
+    long pivot sequences without disturbing equilibrated rows (all
+    coefficients are O(1) after row scaling). *)
+
+type t
+
+(** Magnitude below which entries are dropped by {!scale} and {!axpy}. *)
+val drop : float
+
+(** [create ?cap ()] is an empty row with initial capacity [cap]. *)
+val create : ?cap:int -> unit -> t
+
+(** [of_pairs idx v] builds a row from parallel index/value arrays. Indices
+    need not be sorted or unique: duplicates are summed, zeros dropped.
+    The input arrays are not retained. *)
+val of_pairs : int array -> float array -> t
+
+val copy : t -> t
+
+(** Number of stored nonzeros. *)
+val nnz : t -> int
+
+(** [get r j] is the coefficient at column [j] (0 if absent); O(log nnz). *)
+val get : t -> int -> float
+
+(** [set r j x] writes coefficient [x] at column [j], inserting or removing
+    the entry as needed. O(nnz) worst case on insert. *)
+val set : t -> int -> float -> unit
+
+(** Remove the entry at column [j] (exact structural zero). *)
+val clear : t -> int -> unit
+
+(** [scale r k] multiplies every entry by [k], dropping entries that fall
+    below the drop tolerance. *)
+val scale : t -> float -> unit
+
+(** Reusable merge buffer for {!axpy}; never share one across domains. *)
+type scratch
+
+val scratch : unit -> scratch
+
+(** [axpy ~y ~x factor] computes [y := y - factor * x] by merging the two
+    sorted nonzero streams; entries below the drop tolerance are removed.
+    [x] is unchanged. With [?scratch] the merge output buffer is recycled
+    between calls (swap against [y]'s old storage), eliminating the
+    per-call allocation on the simplex pivot hot path. *)
+val axpy : ?scratch:scratch -> y:t -> x:t -> float -> unit
+
+(** [iter f r] applies [f j v] to each nonzero in increasing column order. *)
+val iter : (int -> float -> unit) -> t -> unit
+
+(** [raw r] exposes [(idx, v, n)]: the first [n] entries of the parallel
+    arrays are the nonzeros. Read-only view for allocation-free hot loops
+    (a closure passed to {!iter} boxes every float crossing the call);
+    invalidated by any mutating operation. *)
+val raw : t -> int array * float array * int
+
+val fold : (int -> float -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [dot r dense] is [sum_j r_j * dense.(j)]; O(nnz). *)
+val dot : t -> float array -> float
+
+val to_dense : int -> t -> float array

@@ -1,0 +1,20 @@
+(** Minimal JSON emission (no parsing, no dependencies) for the bench
+    harness's machine-readable outputs (e.g. [BENCH_lp.json]). Numbers are
+    printed with [%.6g]; non-finite floats become [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+(** Pretty-printed with two-space indentation and a trailing newline -
+    stable output, suitable for committing. *)
+val to_string_pretty : t -> string
+
+val write_file : string -> t -> unit

@@ -1,0 +1,47 @@
+let default_domains =
+  let recommended = Domain.recommended_domain_count () in
+  ref (Int.max 1 (Int.min 8 recommended))
+
+let domains () = !default_domains
+let set_domains n = default_domains := Int.max 1 (Int.min 64 n)
+
+(* Each worker repeatedly claims the next unprocessed index; results are
+   written into per-index slots, so the assembled output never depends on
+   scheduling. The first exception (by input index) is re-raised. *)
+let run_indexed ~domains:d n (task : int -> 'a) : 'a array =
+  if n = 0 then [||]
+  else begin
+    let results : 'a option array = Array.make n None in
+    let errors : exn option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          match task i with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some e
+      done
+    in
+    let spawned =
+      Array.init (Int.min (d - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.iteri (fun i e -> match e with Some e -> ignore i; raise e | None -> ()) errors;
+    Array.map
+      (function Some v -> v | None -> assert false (* every slot filled *))
+      results
+  end
+
+let map ?domains:d f a =
+  let d = match d with Some d -> Int.max 1 d | None -> !default_domains in
+  let n = Array.length a in
+  if d = 1 || n <= 1 then Array.map f a
+  else run_indexed ~domains:d n (fun i -> f a.(i))
+
+let init ?domains:d n f =
+  let d = match d with Some d -> Int.max 1 d | None -> !default_domains in
+  if d = 1 || n <= 1 then Array.init n f else run_indexed ~domains:d n f

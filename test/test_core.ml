@@ -249,6 +249,7 @@ let canonical_parallel_plan g ~demand ~f =
     mlu = 0.0;
     lp_vars = 0;
     lp_rows = 0;
+    lp_pivots = 0;
   }
 
 let test_proposition1_parallel () =
@@ -462,6 +463,38 @@ let test_delay_envelope_tightness () =
       (plan.Offline.mlu >= loose_mlu -. 1e-6)
   | Error _ -> () (* infeasibility is also an acceptable outcome *))
 
+(* The Domain-parallel separation oracle must produce exactly the plan the
+   sequential oracle does: same cuts in the same order, hence bit-identical
+   pivot counts, row counts and routing fractions. *)
+let test_parallel_oracle_deterministic () =
+  let g = Topology.abilene () in
+  let rng = R3_util.Prng.create 19 in
+  let tm = Traffic.gravity rng g ~load_factor:0.2 () in
+  let pairs, _ = Traffic.commodities tm in
+  let base = R3_net.Ospf.routing g ~weights:(R3_net.Ospf.unit_weights g) ~pairs () in
+  let cfg =
+    { (Offline.default_config ~f:1) with solve_method = Offline.Constraint_gen }
+  in
+  let run () = plan_exn (Offline.compute cfg g tm (Offline.Fixed base)) in
+  let before = R3_util.Parallel.domains () in
+  let par, seq =
+    Fun.protect
+      ~finally:(fun () -> R3_util.Parallel.set_domains before)
+      (fun () ->
+        R3_util.Parallel.set_domains 4;
+        let par = run () in
+        R3_util.Parallel.set_domains 1;
+        (par, run ()))
+  in
+  Alcotest.(check bool) "same MLU (exactly)" true
+    (Float.equal par.Offline.mlu seq.Offline.mlu);
+  Alcotest.(check int) "same LP rows" seq.Offline.lp_rows par.Offline.lp_rows;
+  Alcotest.(check int) "same pivots" seq.Offline.lp_pivots par.Offline.lp_pivots;
+  Alcotest.(check bool) "bit-identical protection routing" true
+    (par.Offline.protection.Routing.frac = seq.Offline.protection.Routing.frac);
+  Alcotest.(check bool) "bit-identical base routing" true
+    (par.Offline.base.Routing.frac = seq.Offline.base.Routing.frac)
+
 let suite =
   [
     Alcotest.test_case "virtual demand membership" `Quick test_virtual_demand_membership;
@@ -481,6 +514,8 @@ let suite =
     Alcotest.test_case "multi-TM convex hull" `Quick test_multi_tm;
     Alcotest.test_case "delay envelope" `Quick test_delay_envelope;
     Alcotest.test_case "delay envelope tightness" `Quick test_delay_envelope_tightness;
+    Alcotest.test_case "parallel oracle deterministic" `Quick
+      test_parallel_oracle_deterministic;
     QCheck_alcotest.to_alcotest theorem1_prop;
     QCheck_alcotest.to_alcotest order_independence_prop;
   ]

@@ -228,6 +228,147 @@ let duality_prop =
       | P.Optimal sp, P.Optimal sd -> close ~tol:1e-5 sp.P.objective sd.P.objective
       | _ -> false)
 
+(* Backend agreement: on random LPs the dense reference and the sparse
+   production backend must report the same status, and at [Optimal] the
+   same objective (within tolerance) with a primal-feasible sparse point. *)
+let backends_agree_prop =
+  QCheck.Test.make ~count:100 ~name:"dense and sparse backends agree"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = R3_util.Prng.create (seed + 31) in
+      let nv = 2 + R3_util.Prng.int rng 5 and nc = 2 + R3_util.Prng.int rng 6 in
+      let p = P.create () in
+      let vars = Array.init nv (fun i -> P.var p (Printf.sprintf "v%d" i)) in
+      let rows =
+        Array.init nc (fun _ ->
+            let terms =
+              Array.to_list vars
+              |> List.map (fun v -> (R3_util.Prng.uniform rng (-2.0) 3.0, v))
+            in
+            (* x = 0 satisfies every row, so the LP is always feasible:
+               Le rows get a positive rhs, Ge rows a negative one. *)
+            let cmp, rhs =
+              if R3_util.Prng.int rng 4 = 0 then
+                (P.Ge, R3_util.Prng.uniform rng (-8.0) (-0.5))
+              else (P.Le, R3_util.Prng.uniform rng 0.5 10.0)
+            in
+            P.constr p terms cmp rhs;
+            (terms, cmp, rhs))
+      in
+      P.maximize p
+        (Array.to_list vars
+        |> List.map (fun v -> (R3_util.Prng.uniform rng 0.1 2.0, v)));
+      match (P.solve ~backend:`Dense p, P.solve ~backend:`Sparse p) with
+      | P.Optimal d, P.Optimal s ->
+        close ~tol:1e-6 d.P.objective s.P.objective
+        && Array.for_all
+             (fun (terms, cmp, rhs) ->
+               let lhs =
+                 List.fold_left (fun a (c, v) -> a +. (c *. s.P.value v)) 0.0 terms
+               in
+               let tol = 1e-6 *. (1.0 +. Float.abs rhs) in
+               match cmp with
+               | P.Le -> lhs <= rhs +. tol
+               | P.Ge -> lhs >= rhs -. tol
+               | P.Eq -> Float.abs (lhs -. rhs) <= tol)
+             rows
+      | P.Unbounded, P.Unbounded -> true
+      | P.Infeasible, P.Infeasible -> true
+      | P.Iteration_limit, P.Iteration_limit -> true
+      | _ -> false (* statuses disagree *))
+
+(* Warm-started sessions: after any number of added cut rows, a warm
+   [resolve] must agree (status and objective) with a cold solve of the
+   same augmented system. Exercises the dual-simplex repair path of
+   {!R3_lp.Simplex.Session} exactly as constraint generation uses it. *)
+let warm_equals_cold_prop =
+  let module S = R3_lp.Simplex in
+  QCheck.Test.make ~count:60 ~name:"warm session = cold solve of augmented LP"
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = R3_util.Prng.create (seed + 77) in
+      let nv = 2 + R3_util.Prng.int rng 4 in
+      let nc0 = 2 + R3_util.Prng.int rng 4 in
+      (* min of a nonnegative objective over x >= 0: always bounded, and
+         x = 0 is feasible for the base system below. *)
+      let obj = Array.init nv (fun _ -> R3_util.Prng.uniform rng 0.1 2.0) in
+      let random_row () =
+        let idx = Array.init nv Fun.id in
+        let coef = Array.init nv (fun _ -> R3_util.Prng.uniform rng (-1.0) 2.0) in
+        ((idx, coef), S.Le, R3_util.Prng.uniform rng 0.5 10.0)
+      in
+      (* A couple of Ge rows with positive coefficients push the optimum
+         away from the origin so cuts have something to fight. *)
+      let ge_row () =
+        let idx = Array.init nv Fun.id in
+        let coef = Array.init nv (fun _ -> R3_util.Prng.uniform rng 0.1 1.0) in
+        ((idx, coef), S.Ge, R3_util.Prng.uniform rng 0.5 5.0)
+      in
+      let base =
+        List.init nc0 (fun i -> if i mod 2 = 0 then ge_row () else random_row ())
+      in
+      let rows l = Array.of_list (List.map (fun (r, _, _) -> r) l) in
+      let cmps l = Array.of_list (List.map (fun (_, c, _) -> c) l) in
+      let rhs l = Array.of_list (List.map (fun (_, _, b) -> b) l) in
+      let sess =
+        S.Session.create ~obj ~rows:(rows base) ~cmps:(cmps base)
+          ~rhs:(rhs base) ()
+      in
+      let acc = ref (List.rev base) in
+      let rounds = 1 + R3_util.Prng.int rng 3 in
+      let ok = ref true in
+      for _ = 1 to rounds do
+        let cuts = List.init (1 + R3_util.Prng.int rng 2) (fun _ -> random_row ()) in
+        List.iter
+          (fun (r, c, b) ->
+            S.Session.add_row sess r c b;
+            acc := (r, c, b) :: !acc)
+          cuts;
+        let warm = S.Session.resolve sess in
+        let l = List.rev !acc in
+        let cold =
+          S.solve ~obj ~rows:(rows l) ~cmps:(cmps l) ~rhs:(rhs l) ()
+        in
+        (match (warm.S.status, cold.S.status) with
+        | S.Optimal, S.Optimal ->
+          if not (close ~tol:1e-6 warm.S.objective cold.S.objective) then
+            ok := false
+        | S.Iteration_limit, _ when not (S.Session.warm_ok sess) ->
+          (* Documented contract: an unusable warm state reports
+             [Iteration_limit] and the caller falls back to a cold solve,
+             which is exactly the reference we just computed. *)
+          ()
+        | a, b -> if a <> b then ok := false)
+      done;
+      !ok)
+
+(* Deterministic end-to-end run of the Problem-level incremental API. *)
+let test_problem_session () =
+  let p = P.create () in
+  let x = P.var p "x" and y = P.var p "y" in
+  P.constr p [ (1.0, x) ] P.Le 4.0;
+  P.constr p [ (2.0, y) ] P.Le 12.0;
+  P.constr p [ (3.0, x); (2.0, y) ] P.Le 18.0;
+  P.maximize p [ (3.0, x); (5.0, y) ];
+  let s = P.session p in
+  (match P.resolve s with
+  | P.Optimal sol -> check_close "initial objective" 36.0 sol.P.objective
+  | _ -> Alcotest.fail "initial solve not optimal");
+  (* Cut off the optimum (2, 6): force x + y <= 6; new optimum 30 at
+     (0, 6), where the cut and 2y <= 12 are both active. *)
+  P.constr p [ (1.0, x); (1.0, y) ] P.Le 6.0;
+  (match P.resolve s with
+  | P.Optimal sol ->
+    check_close "after cut 1" 30.0 sol.P.objective;
+    check_close "row satisfied" 6.0 (sol.P.value x +. sol.P.value y)
+  | _ -> Alcotest.fail "resolve after cut not optimal");
+  (* Second round: squeeze y directly. Optimum x<=4 active: 12 + 10 = 22. *)
+  P.constr p [ (1.0, y) ] P.Le 2.0;
+  (match P.resolve s with
+  | P.Optimal sol -> check_close "after cut 2" 22.0 sol.P.objective
+  | _ -> Alcotest.fail "resolve after cut 2 not optimal");
+  if P.session_pivots s <= 0 then Alcotest.fail "session spent no pivots"
+
 let suite =
   [
     Alcotest.test_case "textbook max" `Quick test_textbook_max;
@@ -241,6 +382,10 @@ let suite =
     Alcotest.test_case "duplicate terms summed" `Quick test_duplicate_terms;
     Alcotest.test_case "zero objective / pure feasibility" `Quick test_zero_objective;
     Alcotest.test_case "transportation instance" `Quick test_transportation;
+    Alcotest.test_case "incremental session (Problem API)" `Quick
+      test_problem_session;
     QCheck_alcotest.to_alcotest feasibility_prop;
     QCheck_alcotest.to_alcotest duality_prop;
+    QCheck_alcotest.to_alcotest backends_agree_prop;
+    QCheck_alcotest.to_alcotest warm_equals_cold_prop;
   ]

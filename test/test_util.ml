@@ -110,6 +110,75 @@ let test_histogram () =
   Alcotest.(check int) "bottom bin" 3 h.(0);
   Alcotest.(check int) "top bin" 3 h.(1)
 
+module Par = R3_util.Parallel
+module J = R3_util.Json
+
+let test_parallel_map_matches () =
+  let a = Array.init 1000 (fun i -> i) in
+  let f i = (i * i) mod 97 in
+  Alcotest.(check (array int)) "map = Array.map" (Array.map f a) (Par.map f a)
+
+let test_parallel_init_deterministic () =
+  let f i = float_of_int i *. 1.5 in
+  let one = Par.init ~domains:1 500 f in
+  let many = Par.init ~domains:4 500 f in
+  Alcotest.(check bool) "bit-identical across pool sizes" true (one = many)
+
+let test_parallel_exception () =
+  match
+    Par.map ~domains:4
+      (fun i -> if i mod 3 = 0 then failwith (string_of_int i) else i)
+      (Array.init 100 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected exception to propagate"
+  | exception Failure msg ->
+    (* Doc: the exception from the lowest failing index wins. *)
+    Alcotest.(check string) "lowest index wins" "0" msg
+
+let test_parallel_set_domains () =
+  let before = Par.domains () in
+  Fun.protect
+    ~finally:(fun () -> Par.set_domains before)
+    (fun () ->
+      Par.set_domains 1;
+      Alcotest.(check int) "pinned to 1" 1 (Par.domains ());
+      let a = Array.init 64 (fun i -> i) in
+      Alcotest.(check (array int)) "sequential fallback" a (Par.map Fun.id a))
+
+let test_json_to_string () =
+  let doc =
+    J.Obj
+      [
+        ("a", J.Int 1);
+        ("b", J.List [ J.Float 1.5; J.Bool true; J.Null ]);
+        ("s", J.String "x\"y\n");
+        ("empty", J.List []);
+      ]
+  in
+  Alcotest.(check string) "compact form"
+    {|{"a": 1,"b": [1.5,true,null],"s": "x\"y\n","empty": []}|}
+    (J.to_string doc)
+
+let test_json_non_finite () =
+  Alcotest.(check string) "nan -> null" "null" (J.to_string (J.Float Float.nan));
+  Alcotest.(check string) "inf -> null" "null"
+    (J.to_string (J.Float Float.infinity));
+  Alcotest.(check string) "finite stays" "0.25" (J.to_string (J.Float 0.25))
+
+let test_json_write_file () =
+  let path = Filename.temp_file "r3json" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let doc = J.Obj [ ("k", J.List [ J.Int 1; J.Int 2 ]) ] in
+      J.write_file path doc;
+      let ic = open_in_bin path in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "round trip" (J.to_string_pretty doc) contents;
+      Alcotest.(check bool) "ends with newline" true
+        (String.length contents > 0 && contents.[String.length contents - 1] = '\n'))
+
 let percentile_monotone_prop =
   QCheck.Test.make ~count:100 ~name:"percentile is monotone in p"
     QCheck.(pair (list_of_size (Gen.int_range 1 30) (float_range (-100.) 100.)) (pair (float_range 0. 100.) (float_range 0. 100.)))
@@ -132,5 +201,15 @@ let suite =
     Alcotest.test_case "stats stddev" `Quick test_stats_stddev;
     Alcotest.test_case "cdf points" `Quick test_cdf_points;
     Alcotest.test_case "histogram clamps" `Quick test_histogram;
+    Alcotest.test_case "parallel map matches sequential" `Quick
+      test_parallel_map_matches;
+    Alcotest.test_case "parallel init deterministic" `Quick
+      test_parallel_init_deterministic;
+    Alcotest.test_case "parallel exception propagation" `Quick
+      test_parallel_exception;
+    Alcotest.test_case "parallel set_domains" `Quick test_parallel_set_domains;
+    Alcotest.test_case "json to_string" `Quick test_json_to_string;
+    Alcotest.test_case "json non-finite numbers" `Quick test_json_non_finite;
+    Alcotest.test_case "json write_file" `Quick test_json_write_file;
     QCheck_alcotest.to_alcotest percentile_monotone_prop;
   ]
