@@ -8,7 +8,9 @@ module Topology = R3_net.Topology
 module Routing = R3_net.Routing
 module Offline = R3_core.Offline
 module Eval = R3_sim.Eval
+module Scenario = R3_sim.Scenario
 module Scenarios = R3_sim.Scenarios
+module Sweep = R3_sim.Sweep
 module H = Harness
 
 let algorithms =
@@ -45,11 +47,7 @@ let usisp_events ctx =
   let groups =
     List.filter (fun grp -> List.length grp <= 2 * ctx.H.plan_k) (srlgs @ mlgs)
   in
-  let singles =
-    Array.to_list (Scenarios.physical_links ctx.H.g)
-    |> List.map (fun e -> Scenarios.expand ctx.H.g [ e ])
-  in
-  groups @ singles
+  Scenarios.of_groups ctx.H.g groups @ Scenarios.enumerate ctx.H.g ~k:1
 
 let usisp_env ctx ~interval = H.env_for ctx ~interval ()
 
@@ -99,12 +97,12 @@ let fig3 () =
     (fun interval ->
       let env = usisp_env ctx ~interval in
       let worst alg =
-        List.fold_left (fun acc ev -> Float.max acc (Eval.bottleneck env alg ev)) 0.0 events
+        List.fold_left
+          (fun acc ev -> Float.max acc (Eval.scenario_bottleneck env alg ev))
+          0.0 events
       in
       let worst_opt =
-        List.fold_left
-          (fun acc ev -> Float.max acc (Eval.optimal_bottleneck env ev))
-          0.0 events
+        List.fold_left (fun acc ev -> Float.max acc (Eval.optimal env ev)) 0.0 events
       in
       Printf.printf "%-9d" interval;
       List.iter (fun alg -> Printf.printf "%18.3f" (worst alg /. normalizer)) algorithms;
@@ -121,22 +119,32 @@ let fig4 () =
   let events = usisp_events ctx in
   let step = if !H.quick then 12 else 1 in
   let intervals = List.init (168 / step) (fun i -> i * step) in
-  let curves =
-    List.map
-      (fun alg ->
-        intervals
-        |> List.map (fun interval ->
-               let env = usisp_env ctx ~interval in
-               List.fold_left
-                 (fun acc ev ->
-                   let opt = Eval.optimal_bottleneck env ev in
+  (* One env (and one memoized optimum per event) per interval, shared by
+     all algorithms — the optimum is a pure function of the interval. *)
+  let rows =
+    intervals
+    |> List.map (fun interval ->
+           let env = usisp_env ctx ~interval in
+           let cache = Eval.mcf_cache env in
+           let opts = List.map (fun ev -> Eval.optimal ~cache env ev) events in
+           List.map
+             (fun alg ->
+               List.fold_left2
+                 (fun acc ev opt ->
                    if opt <= 0.0 then acc
-                   else Float.max acc (Eval.bottleneck env alg ev /. opt))
-                 1.0 events)
-        |> Array.of_list)
-      algorithms
+                   else Float.max acc (Eval.scenario_bottleneck env alg ev /. opt))
+                 1.0 events opts)
+             algorithms)
   in
-  let curves = Array.of_list (List.map (fun c -> Array.copy c |> fun a -> Array.sort Float.compare a; a) curves) in
+  let curves =
+    Array.of_list
+      (List.mapi
+         (fun i _ ->
+           let a = Array.of_list (List.map (fun row -> List.nth row i) rows) in
+           Array.sort Float.compare a;
+           a)
+         algorithms)
+  in
   H.print_sorted_curves ~label:"algorithm" alg_names curves;
   H.note "%d intervals (step %d), %d failure events each" (List.length intervals) step
     (List.length events)
@@ -150,7 +158,7 @@ let multi_failure_figure ~title ~ctx ?env ~two_count ~three_count () =
   (* Partition scenarios are excluded: the paper's congestion metric is
      defined over demands that keep reachability, and its (much larger)
      topologies essentially never partition under sampled failures. *)
-  let two_all = Scenarios.connected_only g (Scenarios.all_k g ~k:2) in
+  let two_all = Scenarios.connected g (Scenarios.enumerate g ~k:2) in
   let two =
     if List.length two_all <= two_count then two_all
     else begin
@@ -159,14 +167,20 @@ let multi_failure_figure ~title ~ctx ?env ~two_count ~three_count () =
     end
   in
   let three =
-    Scenarios.connected_only g
-      (Scenarios.sample_k g ~k:3 ~count:(2 * three_count) ~seed:22)
+    Scenarios.connected g (Scenarios.sample g ~k:3 ~count:(2 * three_count) ~seed:22)
     |> List.filteri (fun i _ -> i < three_count)
   in
+  (* Prefix-sharing sweep; the optimal-MCF normalizer is memoized across
+     the two-failure and three-failure passes (shared one-failure prefixes
+     do not arise here, but the plan states and the cache context do). *)
+  let cache = Eval.mcf_cache env in
   let run tagname scenarios =
     Printf.printf "\n(%s: %d scenarios)\n" tagname (List.length scenarios);
-    let curves = Eval.sorted_curves env ~algorithms ~scenarios () in
-    H.print_sorted_curves ~label:"algorithm" alg_names curves
+    let s = Sweep.run ~cache env ~algorithms scenarios in
+    H.print_sorted_curves ~label:"algorithm" alg_names s.Sweep.curves;
+    let undef = Array.fold_left ( + ) 0 s.Sweep.undefined in
+    if undef > 0 then
+      H.note "%d undefined performance ratios dropped (optimum 0)" undef
   in
   run "two failures" two;
   run "three failures (sampled)" three
@@ -254,7 +268,7 @@ let fig8 () =
           ~demands:(class_demands d1 plan.Offline.pairs)
           ~base:plan.Offline.base ~protection:plan.Offline.protection
       in
-      let st = R3_core.Reconfig.apply_failures st scenario in
+      let st = R3_core.Reconfig.apply_failures st (Scenario.links scenario) in
       let r' = st.R3_core.Reconfig.base in
       let loads_of tm = Routing.loads g ~demands:(class_demands tm plan.Offline.pairs) r' in
       let l_tprt = loads_of tprt and l_tpp = loads_of tpp and l_ip = loads_of ip in
@@ -281,16 +295,16 @@ let fig8 () =
       |> List.filteri (fun i _ -> i < k)
       |> List.map snd
     in
-    let singles = Scenarios.all_k g ~k:1 in
+    let singles = Scenarios.enumerate g ~k:1 in
     let top = if !H.quick then 50 else 100 in
     let twos =
       top_worst top
-        (Scenarios.connected_only g (Scenarios.sample_k g ~k:2 ~count:(4 * top) ~seed:41))
+        (Scenarios.connected g (Scenarios.sample g ~k:2 ~count:(4 * top) ~seed:41))
         gen_plan
     in
     let fours =
       top_worst top
-        (Scenarios.connected_only g (Scenarios.sample_k g ~k:4 ~count:(4 * top) ~seed:42))
+        (Scenarios.connected g (Scenarios.sample g ~k:4 ~count:(4 * top) ~seed:42))
         gen_plan
     in
     let report name scenarios =
@@ -408,7 +422,9 @@ let fig10 () =
           ~demands:(Array.map (fun (a, b) -> ctx.H.base_tm.(a).(b)) plan.Offline.pairs)
           ~base:plan.Offline.base ~protection:plan.Offline.protection
       in
-      R3_core.Reconfig.mlu (R3_core.Reconfig.apply_failures st scenario) /. normalizer
+      R3_core.Reconfig.mlu
+        (R3_core.Reconfig.apply_failures st (Scenario.links scenario))
+      /. normalizer
     in
     let report name scenarios =
       Printf.printf "\n(%s: %d scenarios)\n" name (List.length scenarios);
@@ -422,9 +438,9 @@ let fig10 () =
         [ "OSPFInvCap+R3"; "OSPF+R3" ]
         [| curve inv_plan; curve opt_plan |]
     in
-    report "one failure" (Scenarios.all_k g ~k:1);
+    report "one failure" (Scenarios.enumerate g ~k:1);
     report "two failures"
-      (Scenarios.sample_k g ~k:2 ~count:(if !H.quick then 120 else 1200) ~seed:61)
+      (Scenarios.sample g ~k:2 ~count:(if !H.quick then 120 else 1200) ~seed:61)
 
 (* ---------- Figures 11-13: prototype experiments (fluid + MPLS-ff) ---------- *)
 

@@ -10,6 +10,10 @@ module Eval = R3_sim.Eval
 
 let quick = ref true
 
+(* Smoke mode (--smoke / @bench-check): tiny fixtures, no JSON artifacts —
+   just proves the bench code paths run. *)
+let smoke = ref false
+
 (* ---------- plan cache ---------- *)
 
 let cache_version = 5
@@ -183,6 +187,6 @@ let print_sorted_curves ~label names (curves : float array array) =
       if Array.length curve > 0 then Printf.printf "%8.3f" (R3_util.Stats.mean curve);
       print_newline ())
     curves;
-  print_string "%!"
+  flush stdout
 
 let note fmt = Printf.printf ("note: " ^^ fmt ^^ "\n%!")

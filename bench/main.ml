@@ -28,6 +28,7 @@ let experiments =
     ("table3", Experiments.table3);
     ("ablation", Experiments.ablation);
     ("lp", Lp_bench.run);
+    ("sweep", Sweep_bench.run);
     ("micro", Micro.main);
   ]
 
@@ -45,6 +46,7 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let flags, names = List.partition (fun a -> String.length a > 0 && a.[0] = '-') args in
   if List.mem "--full" flags then Harness.quick := false;
+  if List.mem "--smoke" flags then Harness.smoke := true;
   let names = match names with [] | [ "all" ] -> List.map fst experiments | ns -> ns in
   Printf.printf "R3 reproduction benchmark harness (%s mode)\n"
     (if !Harness.quick then "quick" else "full");

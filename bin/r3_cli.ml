@@ -5,6 +5,7 @@
      precompute  - run the offline phase and save/inspect a plan
      evaluate    - apply a failure scenario to a saved plan
      compare     - R3 vs the baselines on sampled scenarios
+     sweep       - bulk scenario sweep (prefix-sharing engine)
      storage     - Table-3-style router storage report *)
 
 module G = R3_net.Graph
@@ -190,12 +191,12 @@ let compare_run tag k count seed load =
     let env =
       R3_sim.Eval.make_env g ~weights ~pairs ~demands ~ospf_r3:plan ()
     in
-    let scenarios = R3_sim.Scenarios.sample_k g ~k ~count ~seed in
+    let scenarios = R3_sim.Scenarios.sample g ~k ~count ~seed in
     let algorithms =
       R3_sim.Eval.
         [ Ospf_cspf_detour; Ospf_recon; Fcp; Path_splice; Ospf_r3; Ospf_opt ]
     in
-    let curves = R3_sim.Eval.sorted_curves env ~algorithms ~scenarios () in
+    let curves = R3_sim.Sweep.curves env ~algorithms scenarios in
     Printf.printf "performance ratio vs optimal over %d scenarios of %d physical failures:\n"
       (List.length scenarios) k;
     List.iteri
@@ -215,6 +216,117 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare R3 against the baselines")
     Term.(const compare_run $ topology_arg $ k_arg $ count_arg $ seed_arg $ load_arg)
+
+(* ---- sweep ---- *)
+
+let parse_ks spec =
+  try
+    String.split_on_char ',' spec
+    |> List.filter (fun s -> s <> "")
+    |> List.map int_of_string
+    |> List.sort_uniq Int.compare
+  with _ ->
+    Printf.eprintf "bad -k list %S (use e.g. 1,2,3)\n" spec;
+    exit 2
+
+let sweep_run tag ks count seed load metric use_cache domains =
+  let module Eval = R3_sim.Eval in
+  let module Sweep = R3_sim.Sweep in
+  let module Scenarios = R3_sim.Scenarios in
+  let g = load_topology tag in
+  let tm = make_tm g ~seed ~load in
+  let pairs, demands = Traffic.commodities tm in
+  let weights = R3_net.Ospf.unit_weights g in
+  let base = R3_net.Ospf.routing g ~weights ~pairs () in
+  let metric =
+    match metric with
+    | "ratio" -> `Ratio
+    | "bottleneck" -> `Bottleneck
+    | other ->
+      Printf.eprintf "unknown metric %S (use ratio or bottleneck)\n" other;
+      exit 2
+  in
+  let ks = parse_ks ks in
+  let kmax = List.fold_left Int.max 1 ks in
+  let cfg =
+    { (Offline.default_config ~f:kmax) with solve_method = Offline.Constraint_gen }
+  in
+  match
+    R3_core.Structured.compute cfg g tm
+      { R3_core.Structured.srlgs = bidir_groups g; mlgs = []; k = kmax }
+      (Offline.Fixed base)
+  with
+  | Error m ->
+    Printf.eprintf "R3 precompute failed: %s\n" m;
+    exit 1
+  | Ok plan ->
+    let env = Eval.make_env g ~weights ~pairs ~demands ~ospf_r3:plan () in
+    (* k <= 2 is enumerated in full (as in the paper); larger k is sampled. *)
+    let scenarios =
+      List.concat_map
+        (fun k ->
+          if k <= 2 then Scenarios.enumerate g ~k
+          else Scenarios.sample g ~k ~count ~seed)
+        ks
+    in
+    let cache = if use_cache then Some (Eval.mcf_cache ~dir:".bench-cache" env) else None in
+    let algorithms =
+      Eval.[ Ospf_cspf_detour; Ospf_recon; Fcp; Path_splice; Ospf_r3; Ospf_opt ]
+    in
+    let s, dt =
+      R3_util.Timer.time (fun () -> Sweep.run ?cache ~metric ?domains env ~algorithms scenarios)
+    in
+    Printf.printf "%s over %d scenarios (k in {%s}), %.2fs:\n"
+      (match metric with `Ratio -> "performance ratio vs optimal" | `Bottleneck -> "bottleneck intensity")
+      s.Sweep.scenario_count
+      (String.concat "," (List.map string_of_int ks))
+      dt;
+    Array.iteri
+      (fun i alg ->
+        let c = s.Sweep.curves.(i) in
+        if Array.length c = 0 then
+          Printf.printf "  %-18s (no defined values)\n" (Eval.algorithm_name alg)
+        else begin
+          match R3_util.Stats.quantiles ~ps:[ 50.0; 90.0; 99.0 ] c with
+          | [ p50; p90; p99 ] ->
+            Printf.printf "  %-18s median %.3f  p90 %.3f  p99 %.3f  worst %.3f"
+              (Eval.algorithm_name alg) p50 p90 p99 (R3_util.Stats.max c);
+            (match s.Sweep.worst.(i) with
+            | Some (sc, v) ->
+              Printf.printf "  (%.3f @ %s)" v (R3_sim.Scenario.describe g sc)
+            | None -> ());
+            if s.Sweep.undefined.(i) > 0 then
+              Printf.printf "  [%d undefined dropped]" s.Sweep.undefined.(i);
+            print_newline ()
+          | _ -> assert false
+        end)
+      s.Sweep.algorithms;
+    if metric = `Ratio then
+      Printf.printf "optimal-MCF solves: %d fresh, %d from cache%s\n" s.Sweep.mcf_misses
+        s.Sweep.mcf_hits
+        (if use_cache then " (.bench-cache)" else "")
+
+let sweep_cmd =
+  let ks_arg =
+    Arg.(value & opt string "1,2" & info [ "k" ] ~docv:"K1,K2" ~doc:"Physical failure counts; k <= 2 enumerated, larger sampled.")
+  in
+  let count_arg =
+    Arg.(value & opt int 100 & info [ "count" ] ~docv:"N" ~doc:"Sample size per k > 2.")
+  in
+  let metric_arg =
+    Arg.(value & opt string "ratio" & info [ "metric" ] ~docv:"ratio|bottleneck" ~doc:"Metric to aggregate.")
+  in
+  let cache_arg =
+    Arg.(value & flag & info [ "cache" ] ~doc:"Persist optimal-MCF solves under .bench-cache/.")
+  in
+  let domains_arg =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"D" ~doc:"Parallel domain count (default: available cores).")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Bulk scenario sweep (prefix-sharing engine)")
+    Term.(
+      const sweep_run $ topology_arg $ ks_arg $ count_arg $ seed_arg $ load_arg
+      $ metric_arg $ cache_arg $ domains_arg)
 
 (* ---- storage ---- *)
 
@@ -248,4 +360,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ topologies_cmd; precompute_cmd; evaluate_cmd; compare_cmd; storage_cmd ]))
+          [ topologies_cmd; precompute_cmd; evaluate_cmd; compare_cmd; sweep_cmd; storage_cmd ]))

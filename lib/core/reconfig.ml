@@ -86,6 +86,61 @@ let apply_bidir_failure st e =
 
 let apply_failures st links = List.fold_left apply_failure st links
 
+(* Copy-on-write variant of [update_row] for the persistent [step]: rows
+   the failure does not touch are returned as-is and shared with the
+   parent state, so a tree traversal pays only for the rows that change.
+   Mirrors [apply_failure]'s arithmetic exactly (including the
+   unconditional [row.(e) <- 0.0], which can turn a stray [-0.0] into
+   [+0.0]) so stepped and copied states are bit-identical. *)
+let cow_update_row ~m ~e ~xi row =
+  let on_e = row.(e) in
+  if on_e > 0.0 then begin
+    let row' = Array.copy row in
+    for l = 0 to m - 1 do
+      if l <> e then
+        Array.unsafe_set row' l
+          (Array.unsafe_get row' l +. (on_e *. Array.unsafe_get xi l))
+    done;
+    row'.(e) <- 0.0;
+    row'
+  end
+  else if on_e = 0.0 && not (Float.sign_bit on_e) then row
+  else begin
+    (* -0.0 or negative solver noise: [apply_failure] only zeroes the
+       entry (its add loop is gated on [on_e > 0.0]). *)
+    let row' = Array.copy row in
+    row'.(e) <- 0.0;
+    row'
+  end
+
+let step st e =
+  if st.failed.(e) then st
+  else begin
+    let xi = detour st e in
+    let m = G.num_links st.graph in
+    let base_frac = Array.map (cow_update_row ~m ~e ~xi) st.base.Routing.frac in
+    let prot_frac =
+      Array.mapi
+        (fun l row -> if l = e then row else cow_update_row ~m ~e ~xi row)
+        st.protection.Routing.frac
+    in
+    (* As in [apply_failure]: the failed link's own protection row becomes
+       the detour itself. *)
+    prot_frac.(e) <- xi;
+    let failed = Array.copy st.failed in
+    failed.(e) <- true;
+    {
+      st with
+      base = { st.base with Routing.frac = base_frac };
+      protection = { st.protection with Routing.frac = prot_frac };
+      failed;
+    }
+  end
+
+let step_bidir st e =
+  let st = step st e in
+  match G.reverse_link st.graph e with Some r -> step st r | None -> st
+
 let loads st = Routing.loads st.graph ~demands:st.demands st.base
 
 let mlu st =

@@ -46,6 +46,23 @@ val apply_bidir_failure : state -> R3_net.Graph.link -> state
 (** Apply a failure sequence left to right (directed links). *)
 val apply_failures : state -> R3_net.Graph.link list -> state
 
+(** {2 Persistent steps for scenario-tree traversal}
+
+    [apply_failure] deep-copies both routings on every call — fine for a
+    single scenario, wasteful when sweeping thousands that share prefixes.
+    [step] is the copy-on-write equivalent: the returned state shares every
+    routing row the failure does not touch with its parent, so a DFS over a
+    scenario tree pays O(changed rows) per edge instead of O(whole state).
+    Parent states are never mutated; any number of children may be stepped
+    from the same state (Theorem 3 makes the traversal order immaterial).
+    Stepped states are bit-identical to [apply_failure]'d ones. *)
+
+(** Copy-on-write [apply_failure]: shares unmodified rows with [state]. *)
+val step : state -> R3_net.Graph.link -> state
+
+(** Copy-on-write [apply_bidir_failure]. *)
+val step_bidir : state -> R3_net.Graph.link -> state
+
 (** Per-link load of the real traffic under the current base routing. *)
 val loads : state -> float array
 

@@ -82,7 +82,8 @@ let add_loads g ~demands t ~into =
       if d <> 0.0 then begin
         let row = t.frac.(k) in
         for e = 0 to m - 1 do
-          into.(e) <- into.(e) +. (d *. Array.unsafe_get row e)
+          Array.unsafe_set into e
+            (Array.unsafe_get into e +. (d *. Array.unsafe_get row e))
         done
       end)
     demands

@@ -1,7 +1,12 @@
 (** The evaluation engine behind Figures 3–10: run every protection
     algorithm on a failure scenario and report the bottleneck traffic
-    intensity (worst live-link utilization) and the performance ratio
-    against optimal flow-based routing. *)
+    intensity (worst live-link utilization), the performance ratio against
+    optimal flow-based routing, and the delivered fraction.
+
+    Single scenarios go through {!evaluate}; bulk sweeps (thousands of
+    scenarios) go through [Sweep], which shares reconfiguration prefixes
+    and memoizes the MCF normalizer. The raw-link-list entry points at the
+    bottom are deprecated compatibility wrappers. *)
 
 type algorithm =
   | Ospf_cspf_detour  (** OSPF base + CSPF fast-reroute bypasses *)
@@ -41,22 +46,68 @@ val make_env :
   unit ->
   env
 
-(** Bottleneck traffic intensity of one algorithm under one scenario
-    (directed failed links). R3 rows require the corresponding plan. *)
-val bottleneck : env -> algorithm -> R3_net.Graph.link list -> float
+(** An {!Mcf_cache.t} keyed for this environment (pass [~dir:".bench-cache"]
+    to persist across runs). *)
+val mcf_cache : ?dir:string -> env -> Mcf_cache.t
+
+(** Everything {!evaluate} knows about one (algorithm, scenario) pair. *)
+type result = {
+  bottleneck : float;  (** worst live-link utilization *)
+  optimal : float;  (** optimal flow-based bottleneck; [nan] if skipped *)
+  ratio : float option;  (** [bottleneck /. optimal]; [None] when the
+                             optimum is 0 (the ratio is undefined) or when
+                             the optimum was skipped *)
+  delivered : float;  (** fraction of total demand delivered, in [0,1] *)
+}
+
+(** [evaluate env alg scenario] — the single-scenario evaluation API.
+    [cache] memoizes the expensive optimal-MCF solve (sequential use only);
+    [with_optimal:false] skips it entirely ([optimal] is [nan], [ratio] is
+    [None]). R3 rows require the corresponding plan in [env]. *)
+val evaluate :
+  ?cache:Mcf_cache.t -> ?with_optimal:bool -> env -> algorithm -> Scenario.t -> result
 
 (** Approximately optimal bottleneck intensity (flow-based optimal routing
-    on the surviving topology). *)
-val optimal_bottleneck : env -> R3_net.Graph.link list -> float
+    on the surviving topology), optionally memoized. *)
+val optimal : ?cache:Mcf_cache.t -> env -> Scenario.t -> float
 
-(** [performance_ratio env alg scenario] divides by
-    {!optimal_bottleneck}; returns [nan] when the optimum is 0. *)
+(** {2 Building blocks for the bulk sweep engine}
+
+    Most callers want {!evaluate}; these expose the pieces [Sweep] composes
+    differently. *)
+
+(** Bottleneck intensity only — {!evaluate} without the optimal solve or
+    delivery accounting. *)
+val scenario_bottleneck : env -> algorithm -> Scenario.t -> float
+
+(** The pristine {!R3_core.Reconfig} root for an R3 algorithm, with the
+    env's demands aligned onto the plan's commodities — the state the sweep
+    engine steps through the scenario tree. [None] for the per-scenario
+    algorithms; raises [Invalid_argument] if the required plan is missing. *)
+val r3_root : env -> algorithm -> R3_core.Reconfig.state option
+
+(** {2 Deprecated raw-list interface}
+
+    Kept for one PR; every entry point collapses into {!evaluate} (or
+    [Sweep.curves] for the bulk path). *)
+
+(** Bottleneck traffic intensity of one algorithm under one scenario
+    (directed failed links). *)
+val bottleneck : env -> algorithm -> R3_net.Graph.link list -> float
+[@@ocaml.deprecated "use Eval.evaluate (or Eval.scenario_bottleneck)"]
+
+(** Approximately optimal bottleneck intensity. *)
+val optimal_bottleneck : env -> R3_net.Graph.link list -> float
+[@@ocaml.deprecated "use Eval.optimal"]
+
+(** [performance_ratio env alg scenario]; returns [nan] when the optimum
+    is 0 — {!evaluate}'s [ratio] field reports that case as [None]. *)
 val performance_ratio : env -> algorithm -> R3_net.Graph.link list -> float
+[@@ocaml.deprecated "use Eval.evaluate"]
 
 (** Evaluate several algorithms over many scenarios; result.(i) lists, for
-    algorithm i, the per-scenario values sorted ascending (the shape the
-    paper's sorted-ratio figures plot). [metric] defaults to
-    performance ratio; [`Bottleneck] gives raw intensities. *)
+    algorithm i, the per-scenario values sorted ascending. Undefined ratios
+    are silently dropped — [Sweep] reports their count. *)
 val sorted_curves :
   env ->
   algorithms:algorithm list ->
@@ -64,3 +115,4 @@ val sorted_curves :
   ?metric:[ `Ratio | `Bottleneck ] ->
   unit ->
   float array array
+[@@ocaml.deprecated "use Sweep.curves"]

@@ -1,0 +1,93 @@
+(* Memo table for the optimal-MCF normalizer. The key scheme has two
+   levels: a context digest (MD5 over the topology, commodities, demands
+   and solver epsilon — everything the solve depends on besides the failure
+   set) selects the table, and Scenario.key selects the entry. Values
+   round-trip through the disk file as hex floats, so cache hits are
+   bit-identical to the cold solves that produced them. *)
+
+module G = R3_net.Graph
+
+type t = {
+  table : (string, float) Hashtbl.t;
+  file : string option;
+  context : string;
+  mutable dirty : bool;
+}
+
+let context_digest ~graph ~pairs ~demands ~epsilon =
+  let buf = Buffer.create 4096 in
+  let add_int i = Buffer.add_string buf (string_of_int i); Buffer.add_char buf ';' in
+  let add_float f = Buffer.add_int64_le buf (Int64.bits_of_float f) in
+  add_int (G.num_nodes graph);
+  add_int (G.num_links graph);
+  for e = 0 to G.num_links graph - 1 do
+    add_int (G.src graph e);
+    add_int (G.dst graph e);
+    add_float (G.capacity graph e)
+  done;
+  add_int (Array.length pairs);
+  Array.iter (fun (a, b) -> add_int a; add_int b) pairs;
+  Array.iter add_float demands;
+  add_float epsilon;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let load_file table path =
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    (try
+       while true do
+         let line = input_line ic in
+         match String.index_opt line ' ' with
+         | Some i ->
+           let key = String.sub line 0 i in
+           let v = String.sub line (i + 1) (String.length line - i - 1) in
+           (match float_of_string_opt v with
+           | Some f -> Hashtbl.replace table key f
+           | None -> ())
+         | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic
+  end
+
+let create ?dir ~graph ~pairs ~demands ~epsilon () =
+  let context = context_digest ~graph ~pairs ~demands ~epsilon in
+  let table = Hashtbl.create 256 in
+  let file =
+    match dir with
+    | None -> None
+    | Some d ->
+      let path = Filename.concat d (Printf.sprintf "mcf-%s.cache" context) in
+      load_file table path;
+      Some path
+  in
+  { table; file; context; dirty = false }
+
+let context t = t.context
+let size t = Hashtbl.length t.table
+
+let find t scenario = Hashtbl.find_opt t.table (Scenario.key scenario)
+
+let add t scenario value =
+  let key = Scenario.key scenario in
+  (match Hashtbl.find_opt t.table key with
+  | Some v when v = value -> ()
+  | _ ->
+    Hashtbl.replace t.table key value;
+    t.dirty <- true)
+
+let flush t =
+  match t.file with
+  | None -> ()
+  | Some path when t.dirty ->
+    let dir = Filename.dirname path in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let entries =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    let oc = open_out path in
+    List.iter (fun (k, v) -> Printf.fprintf oc "%s %h\n" k v) entries;
+    close_out oc;
+    t.dirty <- false
+  | Some _ -> ()

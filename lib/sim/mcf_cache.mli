@@ -1,0 +1,37 @@
+(** Memo cache for the optimal-MCF normalizer.
+
+    The per-scenario optimal bottleneck ([Eval.optimal]) is by far the most
+    expensive quantity a sweep computes, and it is a pure function of
+    (topology, commodities, demands, epsilon, failure set). This cache keys
+    on exactly that: a {e context digest} over everything but the failure
+    set picks the table (and the on-disk file), and {!Scenario.key} picks
+    the entry. Values survive the disk round-trip bit-identically (hex
+    floats), so warm runs reproduce cold runs exactly.
+
+    Concurrency: {!find} is safe from parallel sweep workers {e only while
+    no writer runs}; {!add}/{!flush} must be called from a single domain
+    between parallel sections (the discipline [Sweep.run] follows). *)
+
+type t
+
+(** [create ?dir ~graph ~pairs ~demands ~epsilon ()] — in-memory table,
+    optionally backed by [dir/mcf-<context>.cache] (created by {!flush};
+    loaded eagerly if present). The conventional [dir] is [".bench-cache"]. *)
+val create :
+  ?dir:string ->
+  graph:R3_net.Graph.t ->
+  pairs:(R3_net.Graph.node * R3_net.Graph.node) array ->
+  demands:float array ->
+  epsilon:float ->
+  unit ->
+  t
+
+(** The context digest (hex MD5) this cache is keyed under. *)
+val context : t -> string
+
+val size : t -> int
+val find : t -> Scenario.t -> float option
+val add : t -> Scenario.t -> float -> unit
+
+(** Persist to disk (no-op for purely in-memory caches or when clean). *)
+val flush : t -> unit

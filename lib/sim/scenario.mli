@@ -1,0 +1,52 @@
+(** Canonical failure scenarios.
+
+    A scenario is a {e set} of physical (bidirectional) link failures. This
+    module gives it an abstract canonical form — the ascending list of
+    physical representatives, each paired with its reverse direction — so
+    that equal scenarios are structurally equal however they were built,
+    and so the sweep engine, the MCF cache, and the evaluation API all key
+    on the same value instead of threading raw [Graph.link list]s around.
+
+    Construction canonicalizes once: directed links are folded onto their
+    physical representative (the lower id of a bidirectional pair),
+    deduplicated, and sorted. The derived directed expansion lists, for
+    each physical link in ascending order, the representative followed by
+    its reverse — the exact order the legacy raw-list API produced, so
+    evaluation over [links] is bit-compatible with it. *)
+
+type t
+
+(** Build from directed links; reverse directions and duplicates are
+    folded onto the canonical physical set. *)
+val of_links : R3_net.Graph.t -> R3_net.Graph.link list -> t
+
+(** Synonym of {!of_links} for callers holding physical picks. *)
+val of_physical : R3_net.Graph.t -> R3_net.Graph.link list -> t
+
+(** The directed links down in this scenario (each physical failure
+    contributes both directions), in canonical order. *)
+val links : t -> R3_net.Graph.link list
+
+(** The canonical physical representatives, ascending. *)
+val physical : t -> R3_net.Graph.link list
+
+(** Number of physical links failed. *)
+val size : t -> int
+
+val is_empty : t -> bool
+
+(** Lexicographic on the canonical physical sets (prefixes sort first) —
+    the DFS order of the sweep engine's scenario tree. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** Stable textual key, e.g. ["3+7+12"] — the scenario part of the MCF
+    cache's key scheme (see DESIGN.md §7). *)
+val key : t -> string
+
+(** Human-readable form using node names, for worst-case witnesses. *)
+val describe : R3_net.Graph.t -> t -> string
+
+module Tbl : Hashtbl.S with type key = t

@@ -16,12 +16,13 @@ let expand g links =
       match G.reverse_link g e with Some r -> [ e; r ] | None -> [ e ])
     links
 
-let all_k g ~k =
+let enumerate g ~k =
   let phys = physical_links g in
   let n = Array.length phys in
   let acc = ref [] in
   let rec choose start chosen remaining =
-    if remaining = 0 then acc := expand g (List.rev chosen) :: !acc
+    if remaining = 0 then
+      acc := Scenario.of_links g (List.rev chosen) :: !acc
     else
       for i = start to n - remaining do
         choose (i + 1) (phys.(i) :: chosen) (remaining - 1)
@@ -30,7 +31,7 @@ let all_k g ~k =
   choose 0 [] k;
   List.rev !acc
 
-let sample_k g ~k ~count ~seed =
+let sample g ~k ~count ~seed =
   let phys = physical_links g in
   let n = Array.length phys in
   let total =
@@ -41,7 +42,7 @@ let sample_k g ~k ~count ~seed =
   in
   if total <= float_of_int count *. 1.5 && total <= 50_000.0 then begin
     (* Space is small: enumerate and subsample deterministically. *)
-    let all = Array.of_list (all_k g ~k) in
+    let all = Array.of_list (enumerate g ~k) in
     let rng = R3_util.Prng.create seed in
     if Array.length all <= count then Array.to_list all
     else Array.to_list (R3_util.Prng.sample rng count all)
@@ -57,11 +58,26 @@ let sample_k g ~k ~count ~seed =
       let key = List.sort Int.compare (Array.to_list picks) in
       if not (Hashtbl.mem seen key) then begin
         Hashtbl.replace seen key ();
-        out := expand g key :: !out
+        out := Scenario.of_links g key :: !out
       end
     done;
     List.rev !out
   end
+
+let of_groups g groups = List.map (Scenario.of_links g) groups
+
+let connected g scenarios =
+  List.filter
+    (fun s ->
+      G.strongly_connected g ~failed:(G.fail_links g (Scenario.links s)) ())
+    scenarios
+
+(* ---- legacy raw-list entry points (deprecated in the mli) ---- *)
+
+let all_k g ~k = List.map Scenario.links (enumerate g ~k)
+
+let sample_k g ~k ~count ~seed =
+  List.map Scenario.links (sample g ~k ~count ~seed)
 
 let group_events groups = groups
 

@@ -2,30 +2,58 @@
 
     The paper enumerates all single- and two-link failures and randomly
     samples ~1100 three- and four-link scenarios. Failures are {e physical}:
-    a failed link takes its reverse direction down with it. A scenario is
-    the list of directed links that are down. *)
+    a failed link takes its reverse direction down with it. Scenarios are
+    the canonical {!Scenario.t}; the raw directed-link-list entry points
+    below are deprecated compatibility wrappers. *)
 
 (** Canonical physical links: one directed representative per bidirectional
     pair (the lower id), plus any unpaired directed links. *)
 val physical_links : R3_net.Graph.t -> R3_net.Graph.link array
 
+(** All scenarios failing exactly [k] physical links, in lexicographic
+    (sweep-tree DFS) order. Scenarios that partition the graph are kept —
+    algorithms must cope. *)
+val enumerate : R3_net.Graph.t -> k:int -> Scenario.t list
+
+(** [sample g ~k ~count ~seed] distinct random scenarios of [k] physical
+    links (fewer if the space is smaller than [count]). Deterministic in
+    [seed]; draws the same scenarios the legacy [sample_k] drew. *)
+val sample :
+  R3_net.Graph.t -> k:int -> count:int -> seed:int -> Scenario.t list
+
+(** Single failure events from structured groups (SRLGs, MLGs): each group
+    becomes one canonical scenario. *)
+val of_groups :
+  R3_net.Graph.t -> R3_net.Graph.link list list -> Scenario.t list
+
+(** Drop scenarios that disconnect the graph (used where the paper's metric
+    is only defined on connected survivors). *)
+val connected : R3_net.Graph.t -> Scenario.t list -> Scenario.t list
+
+(** {2 Deprecated raw-list interface}
+
+    Kept for one PR; every entry point has a {!Scenario.t} replacement. *)
+
 (** Expand physical picks into the full directed-link scenario. *)
 val expand : R3_net.Graph.t -> R3_net.Graph.link list -> R3_net.Graph.link list
+[@@ocaml.deprecated "use Scenario.of_links / Scenario.links"]
 
-(** All scenarios failing exactly [k] physical links (enumerated).
-    Scenarios that partition the graph are kept — algorithms must cope. *)
+(** All scenarios failing exactly [k] physical links (enumerated). *)
 val all_k : R3_net.Graph.t -> k:int -> R3_net.Graph.link list list
+[@@ocaml.deprecated "use Scenarios.enumerate"]
 
 (** [sample_k g ~k ~count ~seed] distinct random scenarios of [k] physical
     links (fewer if the space is smaller than [count]). *)
 val sample_k :
   R3_net.Graph.t -> k:int -> count:int -> seed:int -> R3_net.Graph.link list list
+[@@ocaml.deprecated "use Scenarios.sample"]
 
 (** Single failure events from structured groups: each SRLG or MLG down as
     one event (already closed under reversal by construction). *)
 val group_events : R3_net.Graph.link list list -> R3_net.Graph.link list list
+[@@ocaml.deprecated "use Scenarios.of_groups"]
 
-(** Drop scenarios that disconnect the graph (used where the paper's metric
-    is only defined on connected survivors). *)
+(** Drop scenarios that disconnect the graph. *)
 val connected_only :
   R3_net.Graph.t -> R3_net.Graph.link list list -> R3_net.Graph.link list list
+[@@ocaml.deprecated "use Scenarios.connected"]

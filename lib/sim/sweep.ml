@@ -1,0 +1,185 @@
+(* Prefix-sharing scenario-sweep engine.
+
+   Scenarios are canonical sorted sets of physical links, so the whole
+   scenario population forms a prefix tree; Theorem 3 (order-independence
+   of R3's online rescaling) means the reconfigured state after failing
+   {e1..ej} is the same whichever order the links fail in, so the state at
+   a tree node serves every scenario below it. The engine walks the tree
+   depth-first, advancing the R3 algorithms' states with the copy-on-write
+   [Reconfig.step_bidir] (bit-identical to the naive per-scenario
+   rebuild), evaluates per-scenario algorithms at the leaves, and fans
+   depth-1 subtrees out over [R3_util.Parallel] with slot-indexed result
+   assembly, so output never depends on scheduling. *)
+
+module G = R3_net.Graph
+module Reconfig = R3_core.Reconfig
+
+type metric = [ `Bottleneck | `Ratio ]
+
+type summary = {
+  algorithms : Eval.algorithm array;
+  metric : metric;
+  scenario_count : int;
+  curves : float array array;
+  undefined : int array;
+  worst : (Scenario.t * float) option array;
+  mcf_hits : int;
+  mcf_misses : int;
+}
+
+(* ---- scenario prefix tree ---- *)
+
+type tree = {
+  link : int;  (* physical link failed on entering this node *)
+  mutable terminal : Scenario.t option;
+  mutable children : tree list;  (* built newest-first, reversed once *)
+}
+
+(* Scenarios arrive sorted lexicographically, so each insertion extends
+   either the newest child chain or opens a new sibling — O(total size). *)
+let build_forest scenarios =
+  let scenarios = List.sort_uniq Scenario.compare scenarios in
+  let root = { link = -1; terminal = None; children = [] } in
+  let rec insert node phys sc =
+    match phys with
+    | [] -> node.terminal <- Some sc
+    | e :: rest ->
+      let child =
+        match node.children with
+        | c :: _ when c.link = e -> c
+        | _ ->
+          let c = { link = e; terminal = None; children = [] } in
+          node.children <- c :: node.children;
+          c
+      in
+      insert child rest sc
+  in
+  List.iter (fun sc -> insert root (Scenario.physical sc) sc) scenarios;
+  let rec finalize n =
+    n.children <- List.rev n.children;
+    List.iter finalize n.children
+  in
+  finalize root;
+  root
+
+(* ---- per-scenario evaluation ---- *)
+
+type cell = {
+  scenario : Scenario.t;
+  values : float array;  (* bottleneck intensity per algorithm *)
+  opt : float;  (* nan under `Bottleneck *)
+  fresh_opt : bool;  (* true when this run solved the MCF (cache miss) *)
+}
+
+let eval_cell env algs metric cache sc states =
+  let values =
+    Array.mapi
+      (fun i alg ->
+        match states.(i) with
+        | Some st -> Reconfig.mlu st
+        | None -> Eval.scenario_bottleneck env alg sc)
+      algs
+  in
+  let opt, fresh_opt =
+    match metric with
+    | `Bottleneck -> (nan, false)
+    | `Ratio -> begin
+      match Option.bind cache (fun c -> Mcf_cache.find c sc) with
+      | Some v -> (v, false)
+      | None -> (Eval.optimal env sc, true)
+    end
+  in
+  { scenario = sc; values; opt; fresh_opt }
+
+(* DFS of one subtree; [states] holds the R3 algorithms' reconfigured
+   states for the path so far ([None] slots are per-scenario algorithms).
+   The cache is read-only here — workers run concurrently. *)
+let eval_subtree env algs metric cache root_states subtree =
+  let out = ref [] in
+  let rec walk node states =
+    let states =
+      Array.map (Option.map (fun st -> Reconfig.step_bidir st node.link)) states
+    in
+    (match node.terminal with
+    | Some sc -> out := eval_cell env algs metric cache sc states :: !out
+    | None -> ());
+    List.iter (fun c -> walk c states) node.children
+  in
+  walk subtree root_states;
+  Array.of_list (List.rev !out)
+
+(* ---- the sweep ---- *)
+
+let run ?cache ?(metric = `Ratio) ?domains env ~algorithms scenarios =
+  let algs = Array.of_list algorithms in
+  let forest = build_forest scenarios in
+  let root_states = Array.map (fun alg -> Eval.r3_root env alg) algs in
+  let subtree_cells =
+    R3_util.Parallel.map ?domains
+      (eval_subtree env algs metric cache root_states)
+      (Array.of_list forest.children)
+  in
+  let empty_cells =
+    match forest.terminal with
+    | Some sc -> [| eval_cell env algs metric cache sc root_states |]
+    | None -> [||]
+  in
+  let cells = Array.concat (empty_cells :: Array.to_list subtree_cells) in
+  (* Single-domain cache update after the parallel section. *)
+  let hits = ref 0 and misses = ref 0 in
+  (match metric with
+  | `Ratio ->
+    Array.iter
+      (fun c ->
+        if c.fresh_opt then begin
+          incr misses;
+          match cache with
+          | Some cch -> Mcf_cache.add cch c.scenario c.opt
+          | None -> ()
+        end
+        else incr hits)
+      cells;
+    Option.iter Mcf_cache.flush cache
+  | `Bottleneck -> ());
+  let n_alg = Array.length algs in
+  let curves = Array.make n_alg [||] in
+  let undefined = Array.make n_alg 0 in
+  let worst = Array.make n_alg None in
+  for i = 0 to n_alg - 1 do
+    let vals = ref [] in
+    let undef = ref 0 in
+    let w = ref None in
+    Array.iter
+      (fun c ->
+        let v =
+          match metric with
+          | `Bottleneck -> c.values.(i)
+          | `Ratio -> if c.opt > 0.0 then c.values.(i) /. c.opt else nan
+        in
+        if Float.is_nan v then incr undef
+        else begin
+          vals := v :: !vals;
+          match !w with
+          | Some (_, best) when best >= v -> ()
+          | _ -> w := Some (c.scenario, v)
+        end)
+      cells;
+    let arr = Array.of_list !vals in
+    Array.sort Float.compare arr;
+    curves.(i) <- arr;
+    undefined.(i) <- !undef;
+    worst.(i) <- !w
+  done;
+  {
+    algorithms = algs;
+    metric;
+    scenario_count = Array.length cells;
+    curves;
+    undefined;
+    worst;
+    mcf_hits = !hits;
+    mcf_misses = !misses;
+  }
+
+let curves ?cache ?metric ?domains env ~algorithms scenarios =
+  (run ?cache ?metric ?domains env ~algorithms scenarios).curves

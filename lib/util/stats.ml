@@ -19,10 +19,9 @@ let sorted xs =
   Array.sort Float.compare out;
   out
 
-let percentile p xs =
-  let n = Array.length xs in
+let percentile_sorted p s =
+  let n = Array.length s in
   if n = 0 then invalid_arg "Stats.percentile: empty array";
-  let s = sorted xs in
   if n = 1 then s.(0)
   else begin
     let rank = p /. 100.0 *. float_of_int (n - 1) in
@@ -31,6 +30,12 @@ let percentile p xs =
     let frac = rank -. float_of_int lo in
     (s.(lo) *. (1.0 -. frac)) +. (s.(lo + 1) *. frac)
   end
+
+let percentile p xs = percentile_sorted p (sorted xs)
+
+let quantiles ~ps xs =
+  let s = sorted xs in
+  List.map (fun p -> percentile_sorted p s) ps
 
 let median xs = percentile 50.0 xs
 

@@ -13,6 +13,11 @@ val max : float array -> float
     order statistics. Raises [Invalid_argument] on an empty array. *)
 val percentile : float -> float array -> float
 
+(** [quantiles ~ps xs] evaluates {!percentile} at every point of [ps] on a
+    single sorted copy of [xs] — the bulk form used by the sweep engine's
+    per-algorithm summaries. Raises [Invalid_argument] on an empty array. *)
+val quantiles : ps:float list -> float array -> float list
+
 val median : float array -> float
 
 (** Sorted copy, ascending. *)

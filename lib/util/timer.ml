@@ -7,3 +7,16 @@ let time f =
 let time_only f =
   let _, dt = time f in
   dt
+
+let stopwatch () =
+  let t0 = Unix.gettimeofday () in
+  fun () -> Unix.gettimeofday () -. t0
+
+let best_of ?(repeats = 3) f =
+  if repeats < 1 then invalid_arg "Timer.best_of: repeats < 1";
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let dt = time_only f in
+    if dt < !best then best := dt
+  done;
+  !best

@@ -132,7 +132,9 @@ let opt_lower_bound_prop =
       let g, weights, _, demands, base = abilene_env ~seed ~load:0.4 in
       let phys_links = R3_sim.Scenarios.physical_links g in
       QCheck.assume (phys < Array.length phys_links);
-      let scenario = R3_sim.Scenarios.expand g [ phys_links.(phys) ] in
+      let scenario =
+        R3_sim.Scenario.links (R3_sim.Scenario.of_links g [ phys_links.(phys) ])
+      in
       let failed = G.fail_links g scenario in
       let cspf = B.Cspf_detour.evaluate g ~failed ~weights ~base ~demands () in
       match B.Opt_detour.mlu g ~failed ~base ~demands () with

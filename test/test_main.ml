@@ -11,4 +11,5 @@ let () =
       ("baselines", Test_baselines.suite);
       ("mplsff", Test_mplsff.suite);
       ("sim", Test_sim.suite);
+      ("sweep", Test_sweep.suite);
     ]

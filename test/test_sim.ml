@@ -4,6 +4,7 @@
 module G = R3_net.Graph
 module Topology = R3_net.Topology
 module Traffic = R3_net.Traffic
+module Sc = R3_sim.Scenario
 module S = R3_sim.Scenarios
 module E = R3_sim.Eval
 module F = R3_sim.Fluid
@@ -12,26 +13,27 @@ let test_physical_links () =
   let g = Topology.abilene () in
   let phys = S.physical_links g in
   Alcotest.(check int) "14 physical links" 14 (Array.length phys);
-  (* expansion gives both directions *)
-  let s = S.expand g [ phys.(0) ] in
-  Alcotest.(check int) "expanded" 2 (List.length s)
+  (* the canonical scenario carries both directions *)
+  let sc = Sc.of_links g [ phys.(0) ] in
+  Alcotest.(check int) "one physical link" 1 (Sc.size sc);
+  Alcotest.(check int) "expanded" 2 (List.length (Sc.links sc))
 
 let test_all_k_counts () =
   let g = Topology.abilene () in
-  Alcotest.(check int) "single failures" 14 (List.length (S.all_k g ~k:1));
-  Alcotest.(check int) "pairs" (14 * 13 / 2) (List.length (S.all_k g ~k:2))
+  Alcotest.(check int) "single failures" 14 (List.length (S.enumerate g ~k:1));
+  Alcotest.(check int) "pairs" (14 * 13 / 2) (List.length (S.enumerate g ~k:2))
 
 let test_sample_distinct () =
   let g = Topology.uunet_like () in
-  let samples = S.sample_k g ~k:3 ~count:100 ~seed:5 in
+  let samples = S.sample g ~k:3 ~count:100 ~seed:5 in
   Alcotest.(check int) "count" 100 (List.length samples);
-  let keys = List.map (fun s -> List.sort Int.compare s) samples in
-  Alcotest.(check int) "distinct" 100 (List.length (List.sort_uniq compare keys))
+  Alcotest.(check int) "distinct" 100
+    (List.length (List.sort_uniq Sc.compare samples))
 
 let test_connected_only () =
   let g = Topology.abilene () in
-  let all = S.all_k g ~k:2 in
-  let conn = S.connected_only g all in
+  let all = S.enumerate g ~k:2 in
+  let conn = S.connected g all in
   (* Cutting both Seattle links partitions, so some scenarios are dropped. *)
   Alcotest.(check bool) "some dropped" true (List.length conn < List.length all);
   Alcotest.(check bool) "most kept" true (List.length conn > List.length all / 2)
@@ -58,15 +60,17 @@ let make_env () =
 
 let test_eval_algorithms_run () =
   let g, env = make_env () in
-  let scenario = S.expand g [ (S.physical_links g).(2) ] in
+  let scenario = Sc.of_links g [ (S.physical_links g).(2) ] in
   List.iter
     (fun alg ->
       match alg with
       | E.Mplsff_r3 -> () (* no plan provided in this env *)
       | _ ->
-        let v = E.bottleneck env alg scenario in
-        if not (v >= 0.0) then
-          Alcotest.failf "%s returned %g" (E.algorithm_name alg) v)
+        let r = E.evaluate ~with_optimal:false env alg scenario in
+        if not (r.E.bottleneck >= 0.0) then
+          Alcotest.failf "%s returned %g" (E.algorithm_name alg) r.E.bottleneck;
+        if not (r.E.delivered >= 0.0 && r.E.delivered <= 1.0 +. 1e-9) then
+          Alcotest.failf "%s delivered %g" (E.algorithm_name alg) r.E.delivered)
     E.all_algorithms
 
 let test_eval_r3_close_to_opt () =
@@ -74,28 +78,34 @@ let test_eval_r3_close_to_opt () =
      link detour on the same base (both are link-based protections on the
      OSPF base), and the ratio should be modest. *)
   let g, env = make_env () in
-  let scenarios = List.filteri (fun i _ -> i mod 4 = 0) (S.all_k g ~k:1) in
+  let scenarios = List.filteri (fun i _ -> i mod 4 = 0) (S.enumerate g ~k:1) in
   List.iter
     (fun scenario ->
-      let opt = E.bottleneck env E.Ospf_opt scenario in
-      let r3 = E.bottleneck env E.Ospf_r3 scenario in
+      let opt = E.scenario_bottleneck env E.Ospf_opt scenario in
+      let r3 = E.scenario_bottleneck env E.Ospf_r3 scenario in
       if r3 < opt -. 1e-6 then
         Alcotest.failf "R3 %.4f beat opt %.4f (impossible)" r3 opt)
     scenarios
 
 let test_optimal_lower_bounds_everything () =
   let g, env = make_env () in
-  let scenario = S.expand g [ (S.physical_links g).(4) ] in
-  let opt = E.optimal_bottleneck env scenario in
+  let scenario = Sc.of_links g [ (S.physical_links g).(4) ] in
+  let opt = E.optimal env scenario in
   List.iter
     (fun alg ->
       match alg with
       | E.Mplsff_r3 -> ()
       | _ ->
-        let v = E.bottleneck env alg scenario in
+        let r = E.evaluate env alg scenario in
         (* the MCF normalizer is approximate: allow its epsilon *)
-        if v < opt /. 1.15 -. 1e-6 then
-          Alcotest.failf "%s %.4f below optimal %.4f" (E.algorithm_name alg) v opt)
+        if r.E.bottleneck < opt /. 1.15 -. 1e-6 then
+          Alcotest.failf "%s %.4f below optimal %.4f" (E.algorithm_name alg)
+            r.E.bottleneck opt;
+        (match r.E.ratio with
+        | Some rr ->
+          if not (rr > 0.0) then
+            Alcotest.failf "%s ratio %g" (E.algorithm_name alg) rr
+        | None -> Alcotest.failf "%s ratio undefined" (E.algorithm_name alg)))
     E.all_algorithms
 
 let test_fluid_r3_run () =

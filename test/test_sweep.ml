@@ -1,0 +1,230 @@
+(* The sweep engine's contract: bit-identical to the naive per-scenario
+   path, for any domain count, cold or warm cache, in memory or through
+   the disk round-trip. *)
+
+module G = R3_net.Graph
+module Topology = R3_net.Topology
+module Traffic = R3_net.Traffic
+module Sc = R3_sim.Scenario
+module S = R3_sim.Scenarios
+module E = R3_sim.Eval
+module Sweep = R3_sim.Sweep
+module Mcf_cache = R3_sim.Mcf_cache
+
+let abilene_env ?(demands_scale = 1.0) () =
+  let g = Topology.abilene () in
+  let rng = R3_util.Prng.create 77 in
+  let tm = Traffic.gravity rng g ~load_factor:0.3 () in
+  let pairs, demands = Traffic.commodities tm in
+  let demands = Array.map (fun d -> d *. demands_scale) demands in
+  let weights = R3_net.Ospf.unit_weights g in
+  let base = R3_net.Ospf.routing g ~weights ~pairs () in
+  let cfg =
+    { (R3_core.Offline.default_config ~f:2) with
+      solve_method = R3_core.Offline.Constraint_gen }
+  in
+  let srlgs =
+    Array.to_list (S.physical_links g)
+    |> List.map (fun e ->
+           match G.reverse_link g e with Some r -> [ e; r ] | None -> [ e ])
+  in
+  let plan =
+    match
+      R3_core.Structured.compute cfg g tm
+        { R3_core.Structured.srlgs; mlgs = []; k = 2 }
+        (R3_core.Offline.Fixed base)
+    with
+    | Ok p -> p
+    | Error m -> Alcotest.failf "plan: %s" m
+  in
+  (g, E.make_env g ~weights ~pairs ~demands ~ospf_r3:plan ())
+
+let env = lazy (abilene_env ())
+
+(* The naive reference: one pristine-plan rebuild per (algorithm, scenario),
+   computed through the single-scenario API. *)
+let naive_curves env ~algorithms ~metric scenarios =
+  let values = List.map (fun _ -> ref []) algorithms in
+  List.iter
+    (fun sc ->
+      let opt = match metric with `Ratio -> E.optimal env sc | `Bottleneck -> 1.0 in
+      List.iter2
+        (fun alg acc ->
+          let v = E.scenario_bottleneck env alg sc in
+          let v = match metric with `Ratio -> if opt > 0.0 then v /. opt else nan | `Bottleneck -> v in
+          if not (Float.is_nan v) then acc := v :: !acc)
+        algorithms values)
+    scenarios;
+  values
+  |> List.map (fun acc ->
+         let a = Array.of_list !acc in
+         Array.sort Float.compare a;
+         a)
+  |> Array.of_list
+
+let check_bits name (a : float array array) (b : float array array) =
+  Alcotest.(check int) (name ^ " series") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      let y = b.(i) in
+      Alcotest.(check int) (Printf.sprintf "%s[%d] length" name i) (Array.length x)
+        (Array.length y);
+      Array.iteri
+        (fun j u ->
+          if not (Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float y.(j)))
+          then Alcotest.failf "%s[%d][%d]: %h <> %h" name i j u y.(j))
+        x)
+    a
+
+let r3_algorithms = E.[ Ospf_r3; Ospf_cspf_detour ]
+
+let test_bottleneck_identity_k12 () =
+  let g, env = Lazy.force env in
+  List.iter
+    (fun k ->
+      let scenarios = S.enumerate g ~k in
+      let fast = Sweep.curves ~metric:`Bottleneck ~domains:1 env ~algorithms:r3_algorithms scenarios in
+      let slow = naive_curves env ~algorithms:r3_algorithms ~metric:`Bottleneck scenarios in
+      check_bits (Printf.sprintf "k=%d bottleneck" k) slow fast)
+    [ 1; 2 ]
+
+let test_ratio_identity_sampled_k3 () =
+  let g, env = Lazy.force env in
+  let scenarios = S.sample g ~k:3 ~count:6 ~seed:9 in
+  let fast = Sweep.curves ~domains:1 env ~algorithms:r3_algorithms scenarios in
+  let slow = naive_curves env ~algorithms:r3_algorithms ~metric:`Ratio scenarios in
+  check_bits "sampled k=3 ratio" slow fast
+
+let test_domains_agree () =
+  let g, env = Lazy.force env in
+  let scenarios = S.enumerate g ~k:1 @ S.enumerate g ~k:2 in
+  let one = Sweep.run ~metric:`Bottleneck ~domains:1 env ~algorithms:r3_algorithms scenarios in
+  let many = Sweep.run ~metric:`Bottleneck ~domains:4 env ~algorithms:r3_algorithms scenarios in
+  check_bits "1 vs 4 domains" one.Sweep.curves many.Sweep.curves;
+  Alcotest.(check int) "scenario count" (List.length scenarios) one.Sweep.scenario_count;
+  (* worst witnesses agree, scenario and value *)
+  Array.iteri
+    (fun i w1 ->
+      match (w1, many.Sweep.worst.(i)) with
+      | Some (s1, v1), Some (s2, v2) ->
+        Alcotest.(check bool) "worst scenario" true (Sc.equal s1 s2);
+        Alcotest.(check (float 0.0)) "worst value" v1 v2
+      | None, None -> ()
+      | _ -> Alcotest.fail "worst witness presence differs")
+    one.Sweep.worst
+
+let test_cache_warm_identical () =
+  let g, env = Lazy.force env in
+  let scenarios = S.enumerate g ~k:1 in
+  let cache = E.mcf_cache env in
+  let cold = Sweep.run ~cache env ~algorithms:r3_algorithms scenarios in
+  let warm = Sweep.run ~cache env ~algorithms:r3_algorithms scenarios in
+  check_bits "cold vs warm" cold.Sweep.curves warm.Sweep.curves;
+  Alcotest.(check int) "cold misses" (List.length scenarios) cold.Sweep.mcf_misses;
+  Alcotest.(check int) "warm hits" (List.length scenarios) warm.Sweep.mcf_hits;
+  Alcotest.(check int) "warm misses" 0 warm.Sweep.mcf_misses
+
+let test_cache_disk_roundtrip () =
+  let g, env = Lazy.force env in
+  let scenarios = S.enumerate g ~k:1 in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "r3-sweep-cache-test" in
+  (* stale files from earlier runs would pre-warm the "cold" side *)
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  let disk () = E.mcf_cache ~dir env in
+  let c1 = disk () in
+  let cold = Sweep.run ~cache:c1 env ~algorithms:r3_algorithms scenarios in
+  (* a fresh cache object reloads the flushed file *)
+  let c2 = disk () in
+  Alcotest.(check int) "entries reloaded" (List.length scenarios) (Mcf_cache.size c2);
+  Alcotest.(check string) "same context" (Mcf_cache.context c1) (Mcf_cache.context c2);
+  let warm = Sweep.run ~cache:c2 env ~algorithms:r3_algorithms scenarios in
+  check_bits "disk round-trip" cold.Sweep.curves warm.Sweep.curves;
+  Alcotest.(check int) "served from disk" (List.length scenarios) warm.Sweep.mcf_hits;
+  (* exact float round-trip, entry by entry *)
+  List.iter
+    (fun sc ->
+      match (Mcf_cache.find c1 sc, Mcf_cache.find c2 sc) with
+      | Some a, Some b ->
+        if not (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)) then
+          Alcotest.failf "entry %s: %h <> %h" (Sc.key sc) a b
+      | _ -> Alcotest.failf "entry %s missing" (Sc.key sc))
+    scenarios
+
+let test_undefined_ratios_counted () =
+  (* Zero demand makes the optimum 0 on every scenario: every ratio is
+     undefined, none may leak into the curves, and the count must say so. *)
+  let g, env = abilene_env ~demands_scale:0.0 () in
+  let scenarios = S.enumerate g ~k:1 in
+  let s = Sweep.run env ~algorithms:r3_algorithms scenarios in
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int) "empty curve" 0 (Array.length c);
+      Alcotest.(check int) "all undefined" (List.length scenarios) s.Sweep.undefined.(i);
+      Alcotest.(check bool) "no witness" true (s.Sweep.worst.(i) = None))
+    s.Sweep.curves;
+  (* the single-scenario API agrees *)
+  let r = E.evaluate env E.Ospf_r3 (List.hd scenarios) in
+  Alcotest.(check bool) "evaluate ratio None" true (r.E.ratio = None)
+
+let test_scenario_canonical () =
+  let g = Topology.abilene () in
+  let phys = S.physical_links g in
+  let e = phys.(3) in
+  let r = Option.get (G.reverse_link g e) in
+  let a = Sc.of_links g [ e ] and b = Sc.of_links g [ r; e; e ] in
+  Alcotest.(check bool) "reverse+dup folded" true (Sc.equal a b);
+  Alcotest.(check int) "size" 1 (Sc.size a);
+  Alcotest.(check string) "key" (Sc.key a) (Sc.key b);
+  let c = Sc.of_links g [ phys.(5); phys.(3) ] in
+  Alcotest.(check bool) "prefix sorts first" true (Sc.compare a c < 0);
+  Alcotest.(check bool) "empty" true (Sc.is_empty (Sc.of_links g []))
+
+(* The deprecated wrappers must keep producing what the new API produces. *)
+module Legacy = struct
+  [@@@ocaml.alert "-deprecated"]
+
+  let expand = S.expand
+  let all_k = S.all_k
+  let sample_k = S.sample_k
+  let sorted_curves = E.sorted_curves
+end
+
+let test_legacy_wrappers_agree () =
+  let legacy_expand = Legacy.expand in
+  let legacy_all_k = Legacy.all_k in
+  let legacy_sample_k = Legacy.sample_k in
+  let legacy_sorted_curves = Legacy.sorted_curves in
+  let g, env = Lazy.force env in
+  let phys = S.physical_links g in
+  Alcotest.(check (list int)) "expand"
+    (Sc.links (Sc.of_links g [ phys.(2) ]))
+    (legacy_expand g [ phys.(2) ]);
+  Alcotest.(check int) "all_k count"
+    (List.length (S.enumerate g ~k:2))
+    (List.length (legacy_all_k g ~k:2));
+  List.iter2
+    (fun sc raw ->
+      Alcotest.(check (list int)) "sample_k draws" (Sc.links sc) raw)
+    (S.sample g ~k:2 ~count:10 ~seed:3)
+    (legacy_sample_k g ~k:2 ~count:10 ~seed:3);
+  let scenarios = S.enumerate g ~k:1 in
+  let legacy =
+    legacy_sorted_curves env ~algorithms:r3_algorithms
+      ~scenarios:(List.map Sc.links scenarios) ~metric:`Bottleneck ()
+  in
+  check_bits "sorted_curves"
+    (Sweep.curves ~metric:`Bottleneck env ~algorithms:r3_algorithms scenarios)
+    legacy
+
+let suite =
+  [
+    Alcotest.test_case "scenario canonical form" `Quick test_scenario_canonical;
+    Alcotest.test_case "bottleneck identity k=1,2" `Slow test_bottleneck_identity_k12;
+    Alcotest.test_case "ratio identity sampled k=3" `Slow test_ratio_identity_sampled_k3;
+    Alcotest.test_case "domain count independence" `Slow test_domains_agree;
+    Alcotest.test_case "mcf cache warm = cold" `Slow test_cache_warm_identical;
+    Alcotest.test_case "mcf cache disk round-trip" `Slow test_cache_disk_roundtrip;
+    Alcotest.test_case "undefined ratios counted" `Quick test_undefined_ratios_counted;
+    Alcotest.test_case "legacy wrappers agree" `Quick test_legacy_wrappers_agree;
+  ]
