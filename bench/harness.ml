@@ -190,3 +190,28 @@ let print_sorted_curves ~label names (curves : float array array) =
   flush stdout
 
 let note fmt = Printf.printf ("note: " ^^ fmt ^^ "\n%!")
+
+(* ---------- metrics ---------- *)
+
+(* The BENCH_*.json `metrics` section: whatever the instrumented hot paths
+   recorded while the bench ran (pivot counts, CG rounds, MCF phases,
+   sweep cache traffic). Build the doc's field list with this last, after
+   every case has run. *)
+let metrics_section () = ("metrics", R3_util.Metrics.to_json ())
+
+(* Recording overhead of the observability layer: best-of wall time of [f]
+   with instruments off vs on. Returns (on_s, off_s, pct); instruments are
+   re-enabled afterwards even if [f] raises. *)
+let metrics_overhead ~repeats f =
+  let best enabled =
+    R3_util.Metrics.set_enabled enabled;
+    R3_util.Trace.set_enabled enabled;
+    Fun.protect
+      ~finally:(fun () ->
+        R3_util.Metrics.set_enabled true;
+        R3_util.Trace.set_enabled true)
+      (fun () -> R3_util.Timer.best_of ~repeats f)
+  in
+  let off = best false in
+  let on = best true in
+  (on, off, 100.0 *. (on -. off) /. Float.max off 1e-9)

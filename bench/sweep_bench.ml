@@ -94,11 +94,21 @@ let headline_case ~repeats ~iters g env scenarios =
   let t_sweep1 = best (sweep 1) in
   let t_sweepn = best (sweep n_domains) in
   let speedup = t_naive /. Float.max t_sweep1 1e-9 in
+  (* Observability cost: the same sweep pass with the metrics/trace layer
+     recording vs disabled (acceptance bar: within 5%). *)
+  let m_on, m_off, m_pct =
+    H.metrics_overhead ~repeats (fun () ->
+        for _ = 1 to iters do
+          ignore (sweep 1 ())
+        done)
+  in
+  let per_iter t = t /. float_of_int iters in
   Printf.printf
     "  bottleneck sweep, %d scenarios x %d R3 algorithms (bit-identical):\n\
-    \    naive %.4fs | sweep(1 domain) %.4fs | sweep(%d domains) %.4fs | speedup %.1fx\n%!"
+    \    naive %.4fs | sweep(1 domain) %.4fs | sweep(%d domains) %.4fs | speedup %.1fx\n\
+    \    metrics overhead: on %.4fs | off %.4fs | %+.1f%%\n%!"
     (List.length scenarios) (List.length algorithms) t_naive t_sweep1 n_domains
-    t_sweepn speedup;
+    t_sweepn speedup (per_iter m_on) (per_iter m_off) m_pct;
   ignore g;
   J.Obj
     [
@@ -111,6 +121,9 @@ let headline_case ~repeats ~iters g env scenarios =
       ("sweep_seconds_ndomain", J.Float t_sweepn);
       ("parallel_domains", J.Int n_domains);
       ("speedup_1domain", J.Float speedup);
+      ("metrics_on_seconds", J.Float (per_iter m_on));
+      ("metrics_off_seconds", J.Float (per_iter m_off));
+      ("metrics_overhead_pct", J.Float m_pct);
     ]
 
 (* ---- ratio metric: the MCF memo cache, cold vs warm ---- *)
@@ -158,6 +171,15 @@ let run () =
     let scenarios = Scenarios.enumerate g ~k:1 in
     ignore (headline_case ~repeats:1 ~iters:1 g env scenarios);
     ignore (ratio_case g env scenarios);
+    (* The instrumented hot paths must have recorded something by now:
+       catches a metrics layer that silently stopped counting. *)
+    let module M = R3_util.Metrics in
+    check "metrics: lp pivots recorded" (M.counter_value "lp.pivots" > 0);
+    check "metrics: mcf runs recorded" (M.counter_value "mcf.runs" > 0);
+    check "metrics: sweep scenarios recorded" (M.counter_value "sweep.scenarios" > 0);
+    check "metrics: cache hits recorded" (M.counter_value "sweep.cache.hits" > 0);
+    check "metrics: cache misses recorded" (M.counter_value "sweep.cache.misses" > 0);
+    check "metrics: re-enabled after overhead run" (M.enabled () && R3_util.Trace.enabled ());
     H.note "smoke mode: no %s written" output_path
   end
   else begin
@@ -177,6 +199,8 @@ let run () =
           ("links", J.Int (G.num_links g));
           ("headline", headline);
           ("mcf_cache", ratio);
+          (* Last: the counters the cases above accumulated. *)
+          H.metrics_section ();
         ]
     in
     J.write_file output_path doc;

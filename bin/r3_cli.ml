@@ -6,6 +6,7 @@
      evaluate    - apply a failure scenario to a saved plan
      compare     - R3 vs the baselines on sampled scenarios
      sweep       - bulk scenario sweep (prefix-sharing engine)
+     profile     - end-to-end instrumented run, metrics JSON out
      storage     - Table-3-style router storage report *)
 
 module G = R3_net.Graph
@@ -32,6 +33,45 @@ let seed_arg =
 let load_arg =
   Arg.(value & opt float 0.3 & info [ "load" ] ~docv:"F" ~doc:"Gravity-model load factor.")
 
+(* ---- metrics export (shared by sweep / precompute / profile) ---- *)
+
+let metrics_arg =
+  let doc =
+    "Emit the metrics registry as JSON after the run. With no PATH (or `-') \
+     the document goes to stdout."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "metrics" ] ~docv:"PATH" ~doc)
+
+let metrics_doc () =
+  R3_util.Json.Obj
+    [
+      ("metrics", R3_util.Metrics.to_json ());
+      ( "trace",
+        R3_util.Json.List
+          (List.map
+             (fun (name, count, total) ->
+               R3_util.Json.Obj
+                 [
+                   ("span", R3_util.Json.String name);
+                   ("count", R3_util.Json.Int count);
+                   ("total_s", R3_util.Json.Float total);
+                 ])
+             (R3_util.Trace.summary ())) );
+    ]
+
+let emit_metrics = function
+  | None -> ()
+  | Some path ->
+    let doc = metrics_doc () in
+    if path = "-" then print_endline (R3_util.Json.to_string_pretty doc)
+    else begin
+      R3_util.Json.write_file path doc;
+      Printf.eprintf "metrics written to %s\n%!" path
+    end
+
 (* ---- topologies ---- *)
 
 let topologies_cmd =
@@ -55,7 +95,7 @@ let bidir_groups g =
   |> List.map (fun e ->
          match G.reverse_link g e with Some r -> [ e; r ] | None -> [ e ])
 
-let precompute tag f bidir joint method_ seed load out =
+let precompute tag f bidir joint method_ seed load out metrics =
   let g = load_topology tag in
   let tm = make_tm g ~seed ~load in
   let pairs, _ = Traffic.commodities tm in
@@ -95,13 +135,14 @@ let precompute tag f bidir joint method_ seed load out =
       Printf.printf "congestion-free guarantee HOLDS (Theorem 1)\n"
     else
       Printf.printf "MLU > 1: protection is best-effort for this budget\n";
-    match out with
+    (match out with
     | None -> ()
     | Some path ->
       let oc = open_out_bin path in
       Marshal.to_channel oc plan [];
       close_out oc;
-      Printf.printf "plan saved to %s\n" path
+      Printf.printf "plan saved to %s\n" path);
+    emit_metrics metrics
 
 let precompute_cmd =
   let f_arg = Arg.(value & opt int 1 & info [ "f" ] ~docv:"F" ~doc:"Failure budget.") in
@@ -121,7 +162,7 @@ let precompute_cmd =
     (Cmd.info "precompute" ~doc:"Run the R3 offline phase")
     Term.(
       const precompute $ topology_arg $ f_arg $ bidir_arg $ joint_arg $ method_arg
-      $ seed_arg $ load_arg $ out_arg)
+      $ seed_arg $ load_arg $ out_arg $ metrics_arg)
 
 (* ---- evaluate ---- *)
 
@@ -229,7 +270,7 @@ let parse_ks spec =
     Printf.eprintf "bad -k list %S (use e.g. 1,2,3)\n" spec;
     exit 2
 
-let sweep_run tag ks count seed load metric use_cache domains =
+let sweep_run tag ks count seed load metric use_cache domains metrics =
   let module Eval = R3_sim.Eval in
   let module Sweep = R3_sim.Sweep in
   let module Scenarios = R3_sim.Scenarios in
@@ -304,7 +345,8 @@ let sweep_run tag ks count seed load metric use_cache domains =
     if metric = `Ratio then
       Printf.printf "optimal-MCF solves: %d fresh, %d from cache%s\n" s.Sweep.mcf_misses
         s.Sweep.mcf_hits
-        (if use_cache then " (.bench-cache)" else "")
+        (if use_cache then " (.bench-cache)" else "");
+    emit_metrics metrics
 
 let sweep_cmd =
   let ks_arg =
@@ -326,7 +368,102 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Bulk scenario sweep (prefix-sharing engine)")
     Term.(
       const sweep_run $ topology_arg $ ks_arg $ count_arg $ seed_arg $ load_arg
-      $ metric_arg $ cache_arg $ domains_arg)
+      $ metric_arg $ cache_arg $ domains_arg $ metrics_arg)
+
+(* ---- profile ---- *)
+
+(* End-to-end instrumented run: offline precompute (constraint generation,
+   so the LP session counters move) followed by two ratio sweeps against
+   one in-memory MCF cache — the first pass misses every optimal-MCF
+   lookup, the second hits them all, so both sides of the cache show up in
+   the exported metrics. The metrics/trace JSON goes to stdout (or a
+   file); the human-readable digest goes to stderr. *)
+let profile tag ks count seed load domains out trace_out =
+  let module Eval = R3_sim.Eval in
+  let module Sweep = R3_sim.Sweep in
+  let module Scenarios = R3_sim.Scenarios in
+  R3_util.Metrics.reset ();
+  R3_util.Trace.reset ();
+  let g = load_topology tag in
+  let tm = make_tm g ~seed ~load in
+  let pairs, demands = Traffic.commodities tm in
+  let weights = R3_net.Ospf.unit_weights g in
+  let base = R3_net.Ospf.routing g ~weights ~pairs () in
+  let ks = parse_ks ks in
+  let kmax = List.fold_left Int.max 1 ks in
+  let cfg =
+    { (Offline.default_config ~f:kmax) with solve_method = Offline.Constraint_gen }
+  in
+  match
+    R3_core.Structured.compute cfg g tm
+      { R3_core.Structured.srlgs = bidir_groups g; mlgs = []; k = kmax }
+      (Offline.Fixed base)
+  with
+  | Error m ->
+    Printf.eprintf "R3 precompute failed: %s\n" m;
+    exit 1
+  | Ok plan ->
+    let env = Eval.make_env g ~weights ~pairs ~demands ~ospf_r3:plan () in
+    let scenarios =
+      List.concat_map
+        (fun k ->
+          if k <= 2 then Scenarios.enumerate g ~k
+          else Scenarios.sample g ~k ~count ~seed)
+        ks
+    in
+    let cache = Eval.mcf_cache env in
+    let algorithms =
+      Eval.[ Ospf_cspf_detour; Ospf_recon; Fcp; Path_splice; Ospf_r3; Ospf_opt ]
+    in
+    let _cold = Sweep.run ~cache ~metric:`Ratio ?domains env ~algorithms scenarios in
+    let s = Sweep.run ~cache ~metric:`Ratio ?domains env ~algorithms scenarios in
+    Printf.eprintf "profiled %s: %d scenarios x 2 sweep passes (k in {%s})\n" tag
+      s.Sweep.scenario_count
+      (String.concat "," (List.map string_of_int ks));
+    Printf.eprintf "key counters:\n";
+    List.iter
+      (fun name ->
+        Printf.eprintf "  %-24s %d\n" name (R3_util.Metrics.counter_value name))
+      [
+        "lp.solves"; "lp.pivots"; "lp.degenerate_pivots"; "lp.harris_rejections";
+        "lp.session.cold_starts"; "lp.session.warm_resolves"; "offline.cg.rounds";
+        "offline.cg.cuts"; "mcf.runs"; "mcf.phases"; "sweep.scenarios";
+        "sweep.tree_nodes"; "sweep.cow_steps"; "sweep.cache.hits";
+        "sweep.cache.misses";
+      ];
+    Printf.eprintf "spans (heaviest first):\n";
+    List.iter
+      (fun (name, n, total) ->
+        Printf.eprintf "  %-24s %6d  %8.3fs\n" name n total)
+      (R3_util.Trace.summary ());
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+      R3_util.Trace.export_ndjson path;
+      Printf.eprintf "spans written to %s (ndjson)\n" path);
+    emit_metrics (Some out)
+
+let profile_cmd =
+  let ks_arg =
+    Arg.(value & opt string "1" & info [ "k" ] ~docv:"K1,K2" ~doc:"Physical failure counts; k <= 2 enumerated, larger sampled.")
+  in
+  let count_arg =
+    Arg.(value & opt int 30 & info [ "count" ] ~docv:"N" ~doc:"Sample size per k > 2.")
+  in
+  let domains_arg =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"D" ~doc:"Parallel domain count (default: available cores).")
+  in
+  let out_arg =
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Metrics JSON destination (`-' = stdout).")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH" ~doc:"Also dump raw spans as ndjson.")
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Instrumented end-to-end run; emits metrics JSON")
+    Term.(
+      const profile $ topology_arg $ ks_arg $ count_arg $ seed_arg $ load_arg
+      $ domains_arg $ out_arg $ trace_arg)
 
 (* ---- storage ---- *)
 
@@ -360,4 +497,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ topologies_cmd; precompute_cmd; evaluate_cmd; compare_cmd; sweep_cmd; storage_cmd ]))
+          [ topologies_cmd; precompute_cmd; evaluate_cmd; compare_cmd; sweep_cmd;
+            profile_cmd; storage_cmd ]))

@@ -4,6 +4,16 @@ module Routing = R3_net.Routing
 module Traffic = R3_net.Traffic
 module Parallel = R3_util.Parallel
 
+module Obs = struct
+  module M = R3_util.Metrics
+  module T = R3_util.Trace
+
+  let computes = M.counter "offline.computes"
+  let cg_rounds = M.counter "offline.cg.rounds"
+  let cg_cuts = M.counter "offline.cg.cuts"
+  let compute_seconds = M.histogram "offline.compute.seconds"
+end
+
 type base_spec = Joint | Fixed of Routing.t
 
 type method_ = Dualized | Constraint_gen
@@ -131,6 +141,7 @@ let add_delay_rows lp g (cfg : config) r_vars pairs =
 (* Build the parts common to both methods: MLU variable, r variables (or
    fixed base loads), p variables with routing constraints. *)
 let build_master lp g (cfg : config) base_spec pairs demand_arrays =
+  Obs.T.with_span "offline.build" @@ fun () ->
   let mlu = P.var lp ~lb:0.0 "MLU" in
   let link_prs = Lp_build.link_pairs g in
   let p_vars = Lp_build.routing_vars lp g ~prefix:"p" ~pairs:link_prs in
@@ -230,7 +241,10 @@ let compute_dualized (cfg : config) g tms base_spec =
         P.Le (-.const)
     done
   done;
-  match solve_or_error ~backend:cfg.lp_backend lp cfg.max_pivots with
+  match
+    Obs.T.with_span "offline.lp_solve" (fun () ->
+        solve_or_error ~backend:cfg.lp_backend lp cfg.max_pivots)
+  with
   | Error _ as e -> e
   | Ok sol ->
     let base, protection, mlu_val = finish lp sol g pairs p_vars r_vars base_spec mlu in
@@ -253,6 +267,7 @@ let compute_dualized (cfg : config) g tms base_spec =
    the merge is a fold over the slot-ordered result array, so the value
    is independent of the domain count. *)
 let audit_worst_mlu g ~f ~base_loads ~protection =
+  Obs.T.with_span "offline.audit" @@ fun () ->
   let m = G.num_links g in
   let utils =
     Parallel.init m (fun e ->
@@ -289,6 +304,7 @@ let compute_cg (cfg : config) g tms base_spec =
   let sess = if cfg.cg_warm_start then Some (P.session ?max_pivots:cfg.max_pivots lp) else None in
   let cold_pivots = ref 0 in
   let solve_round () =
+    Obs.T.with_span "offline.lp_solve" @@ fun () ->
     match sess with
     | Some s -> status_error (P.resolve s)
     | None -> (
@@ -306,6 +322,7 @@ let compute_cg (cfg : config) g tms base_spec =
     (* On budget exhaustion the last solution is still a valid routing;
        report it with its audited (true) worst-case MLU. *)
     let budget_left = round <= cfg.cg_max_rounds in
+    R3_util.Metrics.incr Obs.cg_rounds;
     begin
       match solve_round () with
       | Error _ as e -> e
@@ -328,6 +345,7 @@ let compute_cg (cfg : config) g tms base_spec =
            independent and results come back in slot order, so the cuts
            added below appear in exactly the sequential (h, e) order. *)
         let oracle =
+          Obs.T.with_span "offline.oracle" @@ fun () ->
           Parallel.init (nh * m) (fun i ->
               let h = i / m and e = i mod m in
               let weights =
@@ -359,7 +377,9 @@ let compute_cg (cfg : config) g tms base_spec =
               end
             end)
           oracle;
+        R3_util.Metrics.add Obs.cg_cuts !violated;
         if !violated = 0 || not budget_left then begin
+          Obs.T.add_attr "cg_rounds" (Obs.T.Int round);
           let base, protection, mlu_val = finish lp sol g pairs p_vars r_vars base_spec mlu in
           let mlu_val =
             if !violated = 0 then mlu_val
@@ -395,6 +415,19 @@ let compute_cg (cfg : config) g tms base_spec =
 let compute_multi (cfg : config) g tms base_spec =
   if cfg.f < 0 then invalid_arg "Offline: f must be nonnegative";
   if tms = [] then invalid_arg "Offline: need at least one traffic matrix";
+  R3_util.Metrics.incr Obs.computes;
+  Obs.M.time Obs.compute_seconds @@ fun () ->
+  Obs.T.with_span "offline.compute"
+    ~attrs:
+      [
+        ("f", Obs.T.Int cfg.f);
+        ( "method",
+          Obs.T.String
+            (match cfg.solve_method with
+            | Dualized -> "dualized"
+            | Constraint_gen -> "cg") );
+      ]
+  @@ fun () ->
   match cfg.solve_method with
   | Dualized -> compute_dualized cfg g tms base_spec
   | Constraint_gen -> compute_cg cfg g tms base_spec

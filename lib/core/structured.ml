@@ -132,7 +132,25 @@ let audit_mlu (plan : Offline.plan) groups =
   in
   Array.fold_left Float.max 0.0 utils
 
+(* Same instruments as [Offline.Obs]: Metrics interns by name, so these
+   handles alias the ones offline.ml registered. *)
+module Obs = struct
+  module M = R3_util.Metrics
+  module T = R3_util.Trace
+
+  let computes = M.counter "offline.computes"
+  let cg_rounds = M.counter "offline.cg.rounds"
+  let cg_cuts = M.counter "offline.cg.cuts"
+  let compute_seconds = M.histogram "offline.compute.seconds"
+end
+
 let compute (cfg : Offline.config) g tm groups base_spec =
+  Obs.M.incr Obs.computes;
+  Obs.M.time Obs.compute_seconds @@ fun () ->
+  Obs.T.with_span "offline.compute"
+    ~attrs:
+      [ ("f", Obs.T.Int groups.k); ("method", Obs.T.String "structured-cg") ]
+  @@ fun () ->
   let pairs, demands = R3_net.Traffic.commodities tm in
   let m = G.num_links g in
   let lp = P.create ~name:"r3-structured" () in
@@ -224,6 +242,7 @@ let compute (cfg : Offline.config) g tm groups base_spec =
   in
   let cold_pivots = ref 0 in
   let solve_round () =
+    Obs.T.with_span "offline.lp_solve" @@ fun () ->
     match sess with
     | Some s -> P.resolve s
     | None ->
@@ -238,6 +257,7 @@ let compute (cfg : Offline.config) g tm groups base_spec =
   in
   let rec iterate round =
     let budget_left = round <= cfg.Offline.cg_max_rounds in
+    Obs.M.incr Obs.cg_rounds;
     begin
       match solve_round () with
       | P.Infeasible -> Error "structured R3: infeasible"
@@ -256,6 +276,7 @@ let compute (cfg : Offline.config) g tm groups base_spec =
         (* Separation per link, fanned out over domains; slot-ordered
            results keep the cut order identical to a sequential loop. *)
         let oracle =
+          Obs.T.with_span "offline.oracle" @@ fun () ->
           R3_util.Parallel.init m (fun e ->
               let weights =
                 Array.init m (fun l -> G.capacity g l *. p.Routing.frac.(l).(e))
@@ -286,8 +307,10 @@ let compute (cfg : Offline.config) g tm groups base_spec =
             end
           end
         done;
+        Obs.M.add Obs.cg_cuts !violated;
         if !violated > 0 && budget_left then iterate (round + 1)
         else begin
+          Obs.T.add_attr "cg_rounds" (Obs.T.Int round);
           let base =
             match (base_spec, r_vars) with
             | Offline.Fixed r, _ -> r

@@ -225,6 +225,14 @@ let solve ?backend ?max_pivots t =
 
 (* ---- incremental solve handle ---- *)
 
+module Obs = struct
+  module M = R3_util.Metrics
+
+  let cold_starts = M.counter "lp.session.cold_starts"
+  let warm_resolves = M.counter "lp.session.warm_resolves"
+  let rows_added = M.counter "lp.session.rows_added"
+end
+
 type session = {
   sp : t;
   smax_pivots : int option;
@@ -251,6 +259,7 @@ let retire s =
 (* Full cold (re)build: translate the whole problem and run two-phase. *)
 let cold_start s =
   let t = s.sp in
+  R3_util.Metrics.incr Obs.cold_starts;
   let tr = translate t in
   let core =
     Simplex.Session.create ?max_pivots:s.smax_pivots ~obj:tr.obj ~rows:tr.rows
@@ -285,6 +294,8 @@ let resolve s =
           Simplex.Session.add_row core (idx, vals) cmp rhs)
         new_rows;
       s.seen_rows <- t.nrows;
+      R3_util.Metrics.incr Obs.warm_resolves;
+      R3_util.Metrics.add Obs.rows_added fresh;
       let out = Simplex.Session.resolve core in
       match out.Simplex.status with
       | Simplex.Iteration_limit when not (Simplex.Session.warm_ok core) ->

@@ -22,6 +22,48 @@ type phase_end = Phase_optimal | Phase_unbounded | Phase_limit
 
 let default_budget m n = Int.max 100_000 (40 * (m + n))
 
+(* ---- observability ----
+   Per-solve numerical-behaviour counters. The pivot loops bump plain
+   mutable ints on the solver state (free next to a pivot's O(nnz) work);
+   the totals flush into the sharded process-wide Metrics registry once
+   per (re-)solve, so the hot loops never touch an atomic. *)
+module Obs = struct
+  module M = R3_util.Metrics
+
+  let solves = M.counter "lp.solves"
+  let pivots = M.counter "lp.pivots"
+  let degenerate = M.counter "lp.degenerate_pivots"
+  let harris_rejections = M.counter "lp.harris_rejections"
+  let devex_resets = M.counter "lp.devex_resets"
+  let phase1_pivots = M.counter "lp.phase1_pivots"
+  let phase2_pivots = M.counter "lp.phase2_pivots"
+  let dual_pivots = M.counter "lp.dual_pivots"
+  let resolves = M.counter "lp.resolves"
+  let solve_seconds = M.histogram "lp.solve.seconds"
+
+  (* One finished two-phase solve. [p1] = pivots spent in phase 1. *)
+  let record_solve ~pivots:p ~p1 ~degen ~harris ~resets ~dt =
+    M.incr solves;
+    M.add pivots p;
+    M.add phase1_pivots p1;
+    M.add phase2_pivots (p - p1);
+    M.add degenerate degen;
+    M.add harris_rejections harris;
+    M.add devex_resets resets;
+    M.observe solve_seconds dt
+
+  (* One warm re-solve (dual repair + cleanup pivots). *)
+  let record_resolve ~pivots:p ~dual ~degen ~harris ~resets ~dt =
+    M.incr resolves;
+    M.add pivots p;
+    M.add dual_pivots dual;
+    M.add phase2_pivots (p - dual);
+    M.add degenerate degen;
+    M.add harris_rejections harris;
+    M.add devex_resets resets;
+    M.observe solve_seconds dt
+end
+
 (* ---- shared preprocessing ----
    Equilibrate the constraint matrix, then normalize every row: scale by
    max |coeff| and flip sign so rhs >= 0.
@@ -107,6 +149,9 @@ module Dense = struct
     mutable obj2 : float;  (* phase-2 objective (c . x) *)
     mutable pivots : int;
     mutable degenerate_run : int;
+    mutable degen : int;  (* total degenerate (ratio ~ 0) pivots *)
+    mutable harris_rej : int;  (* rows rejected by the Harris pass-2 window *)
+    mutable devex_resets : int;  (* reference-framework resets *)
   }
 
   let is_artificial st j = j >= st.width - st.n_art
@@ -166,7 +211,10 @@ module Dense = struct
     done;
     st.devex.(jp) <- Float.max (wq /. (piv *. piv)) 1.0;
     (* Reset the reference framework when weights blow up. *)
-    if st.devex.(jp) > 1e10 || wq > 1e10 then Array.fill st.devex 0 width 1.0;
+    if st.devex.(jp) > 1e10 || wq > 1e10 then begin
+      Array.fill st.devex 0 width 1.0;
+      st.devex_resets <- st.devex_resets + 1
+    end;
     st.basis.(ip) <- jp;
     st.pivots <- st.pivots + 1
 
@@ -225,14 +273,17 @@ module Dense = struct
       for i = 0 to st.m - 1 do
         if st.active.(i) then begin
           let a = st.tab.(i).(jp) in
-          if a > eps && Float.max st.b.(i) 0.0 /. a <= lim then
-            if
-              a > !best_piv
-              || (a = !best_piv && !best >= 0 && st.basis.(i) < st.basis.(!best))
-            then begin
-              best := i;
-              best_piv := a
+          if a > eps then
+            if Float.max st.b.(i) 0.0 /. a <= lim then begin
+              if
+                a > !best_piv
+                || (a = !best_piv && !best >= 0 && st.basis.(i) < st.basis.(!best))
+              then begin
+                best := i;
+                best_piv := a
+              end
             end
+            else st.harris_rej <- st.harris_rej + 1
         end
       done;
       Some (!best, Float.max st.b.(!best) 0.0 /. !best_piv)
@@ -248,8 +299,10 @@ module Dense = struct
             match leaving st jp with
             | None -> Phase_unbounded
             | Some (ip, ratio) ->
-              if ratio < 1e-10 then
-                st.degenerate_run <- st.degenerate_run + 1
+              if ratio < 1e-10 then begin
+                st.degenerate_run <- st.degenerate_run + 1;
+                st.degen <- st.degen + 1
+              end
               else st.degenerate_run <- 0;
               (* A drifted-negative basic value leaves on a ratio-0 pivot;
                  make the repair exact. *)
@@ -304,6 +357,9 @@ module Dense = struct
         obj2 = 0.0;
         pivots = 0;
         degenerate_run = 0;
+        degen = 0;
+        harris_rej = 0;
+        devex_resets = 0;
       }
     in
     for j = 0 to n - 1 do
@@ -337,14 +393,22 @@ module Dense = struct
     let max_pivots =
       match max_pivots with Some k -> k | None -> default_budget m n
     in
+    let elapsed = R3_util.Timer.stopwatch () in
+    let p1 = ref 0 in
+    let finish out =
+      Obs.record_solve ~pivots:st.pivots ~p1:!p1 ~degen:st.degen
+        ~harris:st.harris_rej ~resets:st.devex_resets ~dt:(elapsed ());
+      out
+    in
     let allow_all _ = true in
     let fail status =
-      { status; x = Array.make n 0.0; objective = 0.0; pivots = st.pivots }
+      finish { status; x = Array.make n 0.0; objective = 0.0; pivots = st.pivots }
     in
     let phase1 =
       if n_art = 0 then Phase_optimal
       else run_phase st st.cost1 ~allow:allow_all ~max_pivots
     in
+    p1 := st.pivots;
     match phase1 with
     | Phase_limit -> fail Iteration_limit
     | Phase_unbounded ->
@@ -368,7 +432,7 @@ module Dense = struct
           let objective =
             Array.fold_left ( +. ) 0.0 (Array.mapi (fun j c -> c *. x.(j)) obj)
           in
-          { status = Optimal; x; objective; pivots = st.pivots }
+          finish { status = Optimal; x; objective; pivots = st.pivots }
       end
 end
 
@@ -406,6 +470,9 @@ module Sp = struct
     mutable obj2 : float;
     mutable pivots : int;
     mutable degenerate_run : int;
+    mutable degen : int;  (* total degenerate (ratio ~ 0) pivots *)
+    mutable harris_rej : int;  (* rows rejected by the Harris pass-2 window *)
+    mutable devex_resets : int;  (* reference-framework resets *)
     mutable valid : bool;  (* last solve ended [Optimal]: warm restart ok *)
   }
 
@@ -500,7 +567,10 @@ module Sp = struct
       if cand > Array.unsafe_get st.devex j then Array.unsafe_set st.devex j cand
     done;
     st.devex.(jp) <- Float.max (wq /. (piv *. piv)) 1.0;
-    if st.devex.(jp) > 1e10 || wq > 1e10 then Array.fill st.devex 0 st.width 1.0;
+    if st.devex.(jp) > 1e10 || wq > 1e10 then begin
+      Array.fill st.devex 0 st.width 1.0;
+      st.devex_resets <- st.devex_resets + 1
+    end;
     st.basis.(ip) <- jp;
     st.pivots <- st.pivots + 1
 
@@ -561,7 +631,7 @@ module Sp = struct
       let best = ref (-1) and best_piv = ref 0.0 in
       for s = 0 to !nc - 1 do
         let i = cand_i.(s) and a = cand_a.(s) in
-        if Float.max st.b.(i) 0.0 /. a <= lim then
+        if Float.max st.b.(i) 0.0 /. a <= lim then begin
           if
             a > !best_piv
             || (a = !best_piv && !best >= 0 && st.basis.(i) < st.basis.(!best))
@@ -569,6 +639,8 @@ module Sp = struct
             best := i;
             best_piv := a
           end
+        end
+        else st.harris_rej <- st.harris_rej + 1
       done;
       Some (!best, Float.max st.b.(!best) 0.0 /. !best_piv)
     end
@@ -583,8 +655,10 @@ module Sp = struct
             match leaving st jp with
             | None -> Phase_unbounded
             | Some (ip, ratio) ->
-              if ratio < 1e-10 then
-                st.degenerate_run <- st.degenerate_run + 1
+              if ratio < 1e-10 then begin
+                st.degenerate_run <- st.degenerate_run + 1;
+                st.degen <- st.degen + 1
+              end
               else st.degenerate_run <- 0;
               if st.b.(ip) < 0.0 then st.b.(ip) <- 0.0;
               pivot st ip jp;
@@ -648,6 +722,9 @@ module Sp = struct
         obj2 = 0.0;
         pivots = 0;
         degenerate_run = 0;
+        degen = 0;
+        harris_rej = 0;
+        devex_resets = 0;
         valid = false;
       }
     in
@@ -697,26 +774,34 @@ module Sp = struct
 
   let first_solve st =
     let max_pivots = st.budget in
+    let elapsed = R3_util.Timer.stopwatch () in
+    let p1 = ref 0 in
+    let finish out =
+      Obs.record_solve ~pivots:st.pivots ~p1:!p1 ~degen:st.degen
+        ~harris:st.harris_rej ~resets:st.devex_resets ~dt:(elapsed ());
+      out
+    in
     let allow_all _ = true in
     let phase1 =
       if st.art_hi = st.art_lo then Phase_optimal
       else run_phase st st.cost1 ~allow:allow_all ~max_pivots
     in
+    p1 := st.pivots;
     match phase1 with
-    | Phase_limit -> fail st Iteration_limit
-    | Phase_unbounded -> fail st Infeasible
+    | Phase_limit -> finish (fail st Iteration_limit)
+    | Phase_unbounded -> finish (fail st Infeasible)
     | Phase_optimal ->
-      if st.obj1 > feas_tol then fail st Infeasible
+      if st.obj1 > feas_tol then finish (fail st Infeasible)
       else begin
         purge_artificials st;
         st.degenerate_run <- 0;
         let allow j = not (is_artificial st j) in
         (match run_phase st st.cost2 ~allow ~max_pivots with
-        | Phase_limit -> fail st Iteration_limit
-        | Phase_unbounded -> fail st Unbounded
+        | Phase_limit -> finish (fail st Iteration_limit)
+        | Phase_unbounded -> finish (fail st Unbounded)
         | Phase_optimal ->
           st.valid <- true;
-          extract st)
+          finish (extract st))
       end
 
   (* Append [lhs <= rhs], expressed over the current basis: basic columns
@@ -812,27 +897,41 @@ module Sp = struct
     loop ()
 
   let resolve st =
-    if not st.valid then fail st Iteration_limit
+    (* Session counters accumulate across solves, so report this resolve's
+       contribution as deltas from the entry snapshot. *)
+    let elapsed = R3_util.Timer.stopwatch () in
+    let pivots0 = st.pivots and degen0 = st.degen in
+    let harris0 = st.harris_rej and resets0 = st.devex_resets in
+    let dual = ref 0 in
+    let finish out =
+      Obs.record_resolve ~pivots:(st.pivots - pivots0) ~dual:!dual
+        ~degen:(st.degen - degen0) ~harris:(st.harris_rej - harris0)
+        ~resets:(st.devex_resets - resets0) ~dt:(elapsed ());
+      out
+    in
+    if not st.valid then finish (fail st Iteration_limit)
     else begin
       st.degenerate_run <- 0;
-      match dual_restore st with
+      let dual_outcome = dual_restore st in
+      dual := st.pivots - pivots0;
+      match dual_outcome with
       | Phase_limit ->
         st.valid <- false;
-        fail st Iteration_limit
+        finish (fail st Iteration_limit)
       | Phase_unbounded ->
         st.valid <- false;
-        fail st Infeasible
+        finish (fail st Infeasible)
       | Phase_optimal -> begin
         (* Clean up any residual negative reduced costs (numerical drift). *)
         let allow j = not (is_artificial st j) in
         match run_phase st st.cost2 ~allow ~max_pivots:(st.pivots + st.budget) with
         | Phase_limit ->
           st.valid <- false;
-          fail st Iteration_limit
+          finish (fail st Iteration_limit)
         | Phase_unbounded ->
           st.valid <- false;
-          fail st Unbounded
-        | Phase_optimal -> extract st
+          finish (fail st Unbounded)
+        | Phase_optimal -> finish (extract st)
       end
     end
 end

@@ -48,7 +48,17 @@ let path_links pred ~src ~dst g =
   in
   walk dst []
 
-let run_gk g ?failed ?(epsilon = 0.05) ~track ~pairs ~demands () =
+module Obs = struct
+  module M = R3_util.Metrics
+
+  let runs = M.counter "mcf.runs"
+  let phases = M.counter "mcf.phases"
+  let iterations = M.counter "mcf.iterations"
+  let exact_solves = M.counter "mcf.exact_solves"
+  let solve_seconds = M.histogram "mcf.solve.seconds"
+end
+
+let run_gk_body g ?failed ~epsilon ~track ~pairs ~demands () =
   let failed = match failed with Some f -> f | None -> G.no_failures g in
   let m = G.num_links g in
   (* Keep only routable commodities with positive demand. *)
@@ -174,9 +184,22 @@ let run_gk g ?failed ?(epsilon = 0.05) ~track ~pairs ~demands () =
             end)
           live
       end;
-      ({ mlu = !worst /. t /. scale; iterations = !iterations }, routing)
+      let mlu = !worst /. t /. scale in
+      R3_util.Metrics.add Obs.phases !phases;
+      R3_util.Metrics.add Obs.iterations !iterations;
+      R3_util.Trace.add_attr "phases" (R3_util.Trace.Int !phases);
+      R3_util.Trace.add_attr "iterations" (R3_util.Trace.Int !iterations);
+      R3_util.Trace.add_attr "mlu" (R3_util.Trace.Float mlu);
+      ({ mlu; iterations = !iterations }, routing)
     end
   end
+
+let run_gk g ?failed ?(epsilon = 0.05) ~track ~pairs ~demands () =
+  R3_util.Metrics.incr Obs.runs;
+  R3_util.Metrics.time Obs.solve_seconds (fun () ->
+      R3_util.Trace.with_span "mcf.solve"
+        ~attrs:[ ("epsilon", R3_util.Trace.Float epsilon) ]
+        (fun () -> run_gk_body g ?failed ~epsilon ~track ~pairs ~demands ()))
 
 let min_mlu g ?failed ?epsilon ~pairs ~demands () =
   fst (run_gk g ?failed ?epsilon ~track:false ~pairs ~demands ())
@@ -187,6 +210,8 @@ let min_mlu_routing g ?failed ?epsilon ~pairs ~demands () =
 module P = R3_lp.Problem
 
 let min_mlu_exact g ?failed ~pairs ~demands () =
+  R3_util.Metrics.incr Obs.exact_solves;
+  R3_util.Trace.with_span "mcf.exact" @@ fun () ->
   let failed = match failed with Some f -> f | None -> G.no_failures g in
   let m = G.num_links g in
   let n = G.num_nodes g in

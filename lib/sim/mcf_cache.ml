@@ -7,6 +7,15 @@
 
 module G = R3_net.Graph
 
+module Obs = struct
+  module M = R3_util.Metrics
+
+  let hits = M.counter "mcf_cache.hits"
+  let misses = M.counter "mcf_cache.misses"
+  let flushes = M.counter "mcf_cache.flushes"
+  let loaded = M.counter "mcf_cache.entries_loaded"
+end
+
 type t = {
   table : (string, float) Hashtbl.t;
   file : string option;
@@ -59,6 +68,7 @@ let create ?dir ~graph ~pairs ~demands ~epsilon () =
     | Some d ->
       let path = Filename.concat d (Printf.sprintf "mcf-%s.cache" context) in
       load_file table path;
+      R3_util.Metrics.add Obs.loaded (Hashtbl.length table);
       Some path
   in
   { table; file; context; dirty = false }
@@ -66,28 +76,58 @@ let create ?dir ~graph ~pairs ~demands ~epsilon () =
 let context t = t.context
 let size t = Hashtbl.length t.table
 
-let find t scenario = Hashtbl.find_opt t.table (Scenario.key scenario)
+let find t scenario =
+  let r = Hashtbl.find_opt t.table (Scenario.key scenario) in
+  (match r with
+  | Some _ -> R3_util.Metrics.incr Obs.hits
+  | None -> R3_util.Metrics.incr Obs.misses);
+  r
 
 let add t scenario value =
   let key = Scenario.key scenario in
+  (* Bit-level equality: [v = value] is false for NaN = NaN, which would
+     mark the table dirty (and rewrite the file) on every re-add of a NaN
+     entry. The cache stores whatever the solver produced, bit for bit. *)
+  let same_bits a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
   (match Hashtbl.find_opt t.table key with
-  | Some v when v = value -> ()
+  | Some v when same_bits v value -> ()
   | _ ->
     Hashtbl.replace t.table key value;
     t.dirty <- true)
+
+(* [mkdir -p]: tolerate both pre-existing components and EEXIST races with
+   a concurrent sweep creating the same directory. *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()
+  end
 
 let flush t =
   match t.file with
   | None -> ()
   | Some path when t.dirty ->
-    let dir = Filename.dirname path in
-    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    mkdir_p (Filename.dirname path);
     let entries =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table []
       |> List.sort (fun (a, _) (b, _) -> String.compare a b)
     in
-    let oc = open_out path in
-    List.iter (fun (k, v) -> Printf.fprintf oc "%s %h\n" k v) entries;
-    close_out oc;
+    (* Write-to-temp + rename: a crash mid-write (or a second concurrent
+       sweep flushing the same context) leaves the old file intact instead
+       of truncated or interleaved. The temp name embeds the pid so two
+       processes never share one. *)
+    let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+    let oc = open_out tmp in
+    (try
+       List.iter (fun (k, v) -> Printf.fprintf oc "%s %h\n" k v) entries;
+       close_out oc;
+       Sys.rename tmp path;
+       R3_util.Metrics.incr Obs.flushes
+     with e ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
     t.dirty <- false
   | Some _ -> ()

@@ -33,5 +33,8 @@ val size : t -> int
 val find : t -> Scenario.t -> float option
 val add : t -> Scenario.t -> float -> unit
 
-(** Persist to disk (no-op for purely in-memory caches or when clean). *)
+(** Persist to disk (no-op for purely in-memory caches or when clean).
+    Crash-safe: the file is written to a temp sibling and renamed into
+    place, so an interrupted flush (or a concurrent one from another
+    process) leaves the previous file readable. *)
 val flush : t -> unit

@@ -16,6 +16,22 @@ module Reconfig = R3_core.Reconfig
 
 type metric = [ `Bottleneck | `Ratio ]
 
+module Obs = struct
+  module M = R3_util.Metrics
+
+  let runs = M.counter "sweep.runs"
+  let scenarios = M.counter "sweep.scenarios"
+  let tree_nodes = M.counter "sweep.tree_nodes"
+  let cow_steps = M.counter "sweep.cow_steps"
+
+  (* Incremented in the worker domain, one per depth-1 subtree: the
+     per-shard breakdown is the per-domain task count. *)
+  let tasks = M.counter "sweep.tasks"
+  let cache_hits = M.counter "sweep.cache.hits"
+  let cache_misses = M.counter "sweep.cache.misses"
+  let run_seconds = M.histogram "sweep.run.seconds"
+end
+
 type summary = {
   algorithms : Eval.algorithm array;
   metric : metric;
@@ -95,11 +111,19 @@ let eval_cell env algs metric cache sc states =
    states for the path so far ([None] slots are per-scenario algorithms).
    The cache is read-only here — workers run concurrently. *)
 let eval_subtree env algs metric cache root_states subtree =
+  R3_util.Metrics.incr Obs.tasks;
   let out = ref [] in
   let rec walk node states =
+    R3_util.Metrics.incr Obs.tree_nodes;
+    let cow = ref 0 in
     let states =
-      Array.map (Option.map (fun st -> Reconfig.step_bidir st node.link)) states
+      Array.map
+        (Option.map (fun st ->
+             incr cow;
+             Reconfig.step_bidir st node.link))
+        states
     in
+    R3_util.Metrics.add Obs.cow_steps !cow;
     (match node.terminal with
     | Some sc -> out := eval_cell env algs metric cache sc states :: !out
     | None -> ());
@@ -111,6 +135,9 @@ let eval_subtree env algs metric cache root_states subtree =
 (* ---- the sweep ---- *)
 
 let run ?cache ?(metric = `Ratio) ?domains env ~algorithms scenarios =
+  R3_util.Metrics.incr Obs.runs;
+  R3_util.Metrics.time Obs.run_seconds @@ fun () ->
+  R3_util.Trace.with_span "sweep.run" @@ fun () ->
   let algs = Array.of_list algorithms in
   let forest = build_forest scenarios in
   let root_states = Array.map (fun alg -> Eval.r3_root env alg) algs in
@@ -141,6 +168,12 @@ let run ?cache ?(metric = `Ratio) ?domains env ~algorithms scenarios =
       cells;
     Option.iter Mcf_cache.flush cache
   | `Bottleneck -> ());
+  R3_util.Metrics.add Obs.scenarios (Array.length cells);
+  R3_util.Metrics.add Obs.cache_hits !hits;
+  R3_util.Metrics.add Obs.cache_misses !misses;
+  R3_util.Trace.add_attr "scenarios" (R3_util.Trace.Int (Array.length cells));
+  R3_util.Trace.add_attr "mcf_hits" (R3_util.Trace.Int !hits);
+  R3_util.Trace.add_attr "mcf_misses" (R3_util.Trace.Int !misses);
   let n_alg = Array.length algs in
   let curves = Array.make n_alg [||] in
   let undefined = Array.make n_alg 0 in

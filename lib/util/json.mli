@@ -1,6 +1,11 @@
-(** Minimal JSON emission (no parsing, no dependencies) for the bench
-    harness's machine-readable outputs (e.g. [BENCH_lp.json]). Numbers are
-    printed with [%.6g]; non-finite floats become [null]. *)
+(** Minimal JSON emission and parsing (no dependencies) for the bench
+    harness's machine-readable outputs (e.g. [BENCH_lp.json]) and the
+    metrics/trace exports.
+
+    Numbers are printed with the shortest decimal representation that
+    parses back to exactly the same float ([float_of_string] round-trip),
+    so every recorded value survives the artifact round-trip bit-exactly.
+    Non-finite floats become [null]. *)
 
 type t =
   | Null
@@ -11,6 +16,9 @@ type t =
   | List of t list
   | Obj of (string * t) list
 
+(** Shortest round-trip decimal for a finite float; ["null"] otherwise. *)
+val number : float -> string
+
 val to_string : t -> string
 
 (** Pretty-printed with two-space indentation and a trailing newline -
@@ -18,3 +26,13 @@ val to_string : t -> string
 val to_string_pretty : t -> string
 
 val write_file : string -> t -> unit
+
+exception Parse_error of string
+
+(** Parse standard JSON. Numbers without ['.'], ['e'] or ['E'] that fit an
+    OCaml [int] become [Int]; all others become [Float]. Raises
+    {!Parse_error} on malformed input. *)
+val of_string : string -> t
+
+(** [of_string] over a whole file. *)
+val read_file : string -> t

@@ -12,7 +12,7 @@ let run_indexed ~domains:d n (task : int -> 'a) : 'a array =
   if n = 0 then [||]
   else begin
     let results : 'a option array = Array.make n None in
-    let errors : exn option array = Array.make n None in
+    let errors : (exn * Printexc.raw_backtrace) option array = Array.make n None in
     let next = Atomic.make 0 in
     let worker () =
       let continue = ref true in
@@ -22,7 +22,11 @@ let run_indexed ~domains:d n (task : int -> 'a) : 'a array =
         else
           match task i with
           | v -> results.(i) <- Some v
-          | exception e -> errors.(i) <- Some e
+          | exception e ->
+            (* Capture the backtrace in the worker, where it is still the
+               raising stack; re-raising with it in the caller preserves
+               the original trace across the domain boundary. *)
+            errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
       done
     in
     let spawned =
@@ -30,7 +34,11 @@ let run_indexed ~domains:d n (task : int -> 'a) : 'a array =
     in
     worker ();
     Array.iter Domain.join spawned;
-    Array.iteri (fun i e -> match e with Some e -> ignore i; raise e | None -> ()) errors;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      errors;
     Array.map
       (function Some v -> v | None -> assert false (* every slot filled *))
       results

@@ -20,9 +20,9 @@ val domains : unit -> int
 val set_domains : int -> unit
 
 (** [map f a] is [Array.map f a], computed by the pool. Exceptions raised
-    by [f] are re-raised in the caller (the one from the lowest index
-    wins). Falls back to plain [Array.map] for tiny inputs or a pool of
-    one. *)
+    by [f] are re-raised in the caller with their original (worker-side)
+    backtrace; the one from the lowest index wins. Falls back to plain
+    [Array.map] for tiny inputs or a pool of one. *)
 val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 
 (** [init n f] is [Array.init n f], computed by the pool. *)

@@ -14,6 +14,14 @@ let stddev xs =
 let min xs = Array.fold_left Float.min infinity xs
 let max xs = Array.fold_left Float.max neg_infinity xs
 
+(* NaN poisons order statistics silently ([Float.compare] files NaNs after
+   every real value, so high percentiles quietly return NaN while low ones
+   look fine); reject it loudly instead. *)
+let reject_nan fname xs =
+  Array.iter
+    (fun x -> if Float.is_nan x then invalid_arg (fname ^ ": NaN sample"))
+    xs
+
 let sorted xs =
   let out = Array.copy xs in
   Array.sort Float.compare out;
@@ -31,9 +39,12 @@ let percentile_sorted p s =
     (s.(lo) *. (1.0 -. frac)) +. (s.(lo + 1) *. frac)
   end
 
-let percentile p xs = percentile_sorted p (sorted xs)
+let percentile p xs =
+  reject_nan "Stats.percentile" xs;
+  percentile_sorted p (sorted xs)
 
 let quantiles ~ps xs =
+  reject_nan "Stats.quantiles" xs;
   let s = sorted xs in
   List.map (fun p -> percentile_sorted p s) ps
 
@@ -46,6 +57,7 @@ let cdf_points xs =
 
 let histogram ~bins ~lo ~hi xs =
   if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  reject_nan "Stats.histogram" xs;
   let counts = Array.make bins 0 in
   let width = (hi -. lo) /. float_of_int bins in
   let bucket x =

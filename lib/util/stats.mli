@@ -3,19 +3,24 @@
 (** Arithmetic mean; 0 for the empty array. *)
 val mean : float array -> float
 
-(** Population standard deviation; 0 for arrays of length < 2. *)
+(** {e Population} standard deviation (divides by [n], not [n-1] — these
+    summaries describe the full scenario population swept, not a sample of
+    it); 0 for arrays of length < 2. *)
 val stddev : float array -> float
 
 val min : float array -> float
 val max : float array -> float
 
 (** [percentile p xs] with [p] in [0,100], linear interpolation between
-    order statistics. Raises [Invalid_argument] on an empty array. *)
+    order statistics. Raises [Invalid_argument] on an empty array or on any
+    NaN sample (NaN sorts after every real value and would silently poison
+    high percentiles). *)
 val percentile : float -> float array -> float
 
 (** [quantiles ~ps xs] evaluates {!percentile} at every point of [ps] on a
     single sorted copy of [xs] — the bulk form used by the sweep engine's
-    per-algorithm summaries. Raises [Invalid_argument] on an empty array. *)
+    per-algorithm summaries. Raises [Invalid_argument] on an empty array or
+    on NaN samples. *)
 val quantiles : ps:float list -> float array -> float list
 
 val median : float array -> float
@@ -28,5 +33,6 @@ val sorted : float array -> float array
 val cdf_points : float array -> (float * float) array
 
 (** [histogram ~bins ~lo ~hi xs] counts values per equal-width bin; values
-    outside [lo,hi] are clamped to the boundary bins. *)
+    outside [lo,hi] are clamped to the boundary bins. Raises
+    [Invalid_argument] on NaN samples (they have no bucket). *)
 val histogram : bins:int -> lo:float -> hi:float -> float array -> int array

@@ -151,6 +151,69 @@ let test_cache_disk_roundtrip () =
       | _ -> Alcotest.failf "entry %s missing" (Sc.key sc))
     scenarios
 
+(* Direct cache behaviors: atomic flush discipline and the NaN dirty-bit
+   regression (value equality must be bit-level, or NaN entries re-dirty
+   the table on every add and force a rewrite per sweep). *)
+
+let scratch_cache_dir name =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) name in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  dir
+
+let test_cache_flush_atomic () =
+  let g = Topology.abilene () in
+  let pairs = [| (0, 1) |] and demands = [| 1.0 |] in
+  (* nested path: exercises the recursive mkdir *)
+  let dir =
+    scratch_cache_dir (Filename.concat "r3-cache-flush-test" "nested")
+  in
+  let fresh () = Mcf_cache.create ~dir ~graph:g ~pairs ~demands ~epsilon:0.05 () in
+  let c = fresh () in
+  let sc = Sc.of_links g [ (S.physical_links g).(0) ] in
+  Mcf_cache.add c sc 1.25;
+  Mcf_cache.flush c;
+  let files = Sys.readdir dir in
+  Array.iter
+    (fun f ->
+      Alcotest.(check bool) ("no tmp litter: " ^ f) false
+        (Filename.check_suffix f ".tmp"))
+    files;
+  Alcotest.(check int) "exactly the cache file" 1 (Array.length files);
+  Alcotest.(check bool) "reloaded bit-exact" true (Mcf_cache.find (fresh ()) sc = Some 1.25);
+  (* clean table: a second flush must not rewrite the file *)
+  let path = Filename.concat dir files.(0) in
+  Sys.remove path;
+  Mcf_cache.flush c;
+  Alcotest.(check bool) "clean cache does not rewrite" false (Sys.file_exists path)
+
+let test_cache_nan_dirty_regression () =
+  let g = Topology.abilene () in
+  let pairs = [| (0, 1) |] and demands = [| 1.0 |] in
+  let dir = scratch_cache_dir "r3-cache-nan-test" in
+  let fresh () = Mcf_cache.create ~dir ~graph:g ~pairs ~demands ~epsilon:0.05 () in
+  let c = fresh () in
+  let sc = Sc.of_links g [ (S.physical_links g).(0) ] in
+  Mcf_cache.add c sc Float.nan;
+  Mcf_cache.flush c;
+  let files = Sys.readdir dir in
+  Alcotest.(check int) "NaN entry flushed" 1 (Array.length files);
+  let path = Filename.concat dir files.(0) in
+  Sys.remove path;
+  (* Re-adding the identical NaN must be a no-op: under [=] it would look
+     unequal to itself, re-dirty the table, and rewrite the file. *)
+  Mcf_cache.add c sc Float.nan;
+  Mcf_cache.flush c;
+  Alcotest.(check bool) "identical NaN re-add stays clean" false
+    (Sys.file_exists path);
+  (* and the NaN value itself survives a disk round-trip as NaN *)
+  Mcf_cache.add c sc 2.0;
+  Mcf_cache.add c sc Float.nan;
+  Mcf_cache.flush c;
+  (match Mcf_cache.find (fresh ()) sc with
+  | Some v -> Alcotest.(check bool) "NaN reloads as NaN" true (Float.is_nan v)
+  | None -> Alcotest.fail "NaN entry missing after reload")
+
 let test_undefined_ratios_counted () =
   (* Zero demand makes the optimum 0 on every scenario: every ratio is
      undefined, none may leak into the curves, and the count must say so. *)
@@ -225,6 +288,9 @@ let suite =
     Alcotest.test_case "domain count independence" `Slow test_domains_agree;
     Alcotest.test_case "mcf cache warm = cold" `Slow test_cache_warm_identical;
     Alcotest.test_case "mcf cache disk round-trip" `Slow test_cache_disk_roundtrip;
+    Alcotest.test_case "mcf cache atomic flush" `Quick test_cache_flush_atomic;
+    Alcotest.test_case "mcf cache NaN dirty bit" `Quick
+      test_cache_nan_dirty_regression;
     Alcotest.test_case "undefined ratios counted" `Quick test_undefined_ratios_counted;
     Alcotest.test_case "legacy wrappers agree" `Quick test_legacy_wrappers_agree;
   ]

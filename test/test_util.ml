@@ -179,6 +179,111 @@ let test_json_write_file () =
       Alcotest.(check bool) "ends with newline" true
         (String.length contents > 0 && contents.[String.length contents - 1] = '\n'))
 
+let test_stats_nan_rejected () =
+  let bad = [| 1.0; Float.nan; 2.0 |] in
+  let expect_invalid name f =
+    try
+      ignore (f ());
+      Alcotest.failf "%s: expected Invalid_argument on NaN" name
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid "percentile" (fun () -> Stats.percentile 50.0 bad);
+  expect_invalid "quantiles" (fun () -> Stats.quantiles ~ps:[ 50.0 ] bad);
+  expect_invalid "histogram" (fun () ->
+      Stats.histogram ~bins:2 ~lo:0.0 ~hi:1.0 bad)
+
+(* Worker exceptions must surface with the worker-side backtrace, not the
+   caller's re-raise site. *)
+let[@inline never] deep_raise i = failwith ("worker boom " ^ string_of_int i)
+
+let test_parallel_backtrace () =
+  let prev = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect ~finally:(fun () -> Printexc.record_backtrace prev) @@ fun () ->
+  match
+    Par.map ~domains:4
+      (fun i -> if i = 5 then deep_raise i else i)
+      (Array.init 32 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected the worker exception to propagate"
+  | exception Failure msg ->
+    Alcotest.(check string) "original exception" "worker boom 5" msg;
+    let bt = String.lowercase_ascii (Printexc.get_backtrace ()) in
+    (* The raising frame lives in this file; a backtrace captured at the
+       caller's re-raise would not mention it. *)
+    Alcotest.(check bool)
+      (Printf.sprintf "worker frame in backtrace: %s" bt)
+      true
+      (let has sub =
+         let n = String.length sub and m = String.length bt in
+         let rec go i = i + n <= m && (String.sub bt i n = sub || go (i + 1)) in
+         go 0
+       in
+       has "test_util")
+
+let test_json_shortest_roundtrip () =
+  Alcotest.(check string) "0.1 stays short" "0.1" (J.number 0.1);
+  Alcotest.(check string) "1/3 needs 16 digits" "0.3333333333333333"
+    (J.number (1.0 /. 3.0));
+  Alcotest.(check string) "integral float drops point" "1" (J.number 1.0);
+  (* 0.1 +. 0.2 <> 0.3: the two must print differently *)
+  Alcotest.(check bool) "adjacent floats distinguished" true
+    (J.number (0.1 +. 0.2) <> J.number 0.3)
+
+let json_number_roundtrip_prop =
+  (* Arbitrary IEEE-754 bit patterns: every finite float must survive
+     print -> parse bit-exactly; non-finite ones must print as null. *)
+  QCheck.Test.make ~count:2000 ~name:"Json.number round-trips any float"
+    QCheck.int64 (fun bits ->
+      let f = Int64.float_of_bits bits in
+      if Float.is_finite f then
+        Int64.equal
+          (Int64.bits_of_float (float_of_string (J.number f)))
+          (Int64.bits_of_float f)
+      else String.equal (J.number f) "null")
+
+let test_json_parse () =
+  let doc =
+    J.of_string
+      {| { "a": [1, -2.5, 1e3, true, false, null],
+           "s": "x\"y\nAé",
+           "nested": { "empty": {}, "l": [[]] } } |}
+  in
+  (match doc with
+  | J.Obj [ ("a", J.List l); ("s", J.String s); ("nested", J.Obj _) ] ->
+    Alcotest.(check int) "list length" 6 (List.length l);
+    Alcotest.(check string) "escapes decoded" "x\"y\nA\xc3\xa9" s
+  | _ -> Alcotest.fail "unexpected parse shape");
+  List.iter
+    (fun bad ->
+      try
+        ignore (J.of_string bad);
+        Alcotest.failf "expected Parse_error on %S" bad
+      with J.Parse_error _ -> ())
+    [ ""; "{"; "[1,]"; "tru"; "\"unterminated"; "1 2"; "{\"k\" 1}"; "nan" ]
+
+let test_json_parse_roundtrip () =
+  let doc =
+    J.Obj
+      [
+        ("f", J.List [ J.Float 0.1; J.Float (1.0 /. 3.0); J.Float 1e-300 ]);
+        ("i", J.List [ J.Int max_int; J.Int min_int ]);
+        ("s", J.String "tab\tnl\nquote\"end");
+      ]
+  in
+  let rec equal a b =
+    match (a, b) with
+    | J.Float x, J.Float y ->
+      Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+    | J.List x, J.List y -> List.for_all2 equal x y
+    | J.Obj x, J.Obj y ->
+      List.for_all2 (fun (k1, v1) (k2, v2) -> k1 = k2 && equal v1 v2) x y
+    | x, y -> x = y
+  in
+  Alcotest.(check bool) "compact" true (equal doc (J.of_string (J.to_string doc)));
+  Alcotest.(check bool) "pretty" true
+    (equal doc (J.of_string (J.to_string_pretty doc)))
+
 let percentile_monotone_prop =
   QCheck.Test.make ~count:100 ~name:"percentile is monotone in p"
     QCheck.(pair (list_of_size (Gen.int_range 1 30) (float_range (-100.) 100.)) (pair (float_range 0. 100.) (float_range 0. 100.)))
@@ -208,8 +313,16 @@ let suite =
     Alcotest.test_case "parallel exception propagation" `Quick
       test_parallel_exception;
     Alcotest.test_case "parallel set_domains" `Quick test_parallel_set_domains;
+    Alcotest.test_case "stats reject NaN" `Quick test_stats_nan_rejected;
+    Alcotest.test_case "parallel backtrace preserved" `Quick
+      test_parallel_backtrace;
     Alcotest.test_case "json to_string" `Quick test_json_to_string;
     Alcotest.test_case "json non-finite numbers" `Quick test_json_non_finite;
     Alcotest.test_case "json write_file" `Quick test_json_write_file;
+    Alcotest.test_case "json shortest round-trip" `Quick
+      test_json_shortest_roundtrip;
+    Alcotest.test_case "json parser" `Quick test_json_parse;
+    Alcotest.test_case "json parse round-trip" `Quick test_json_parse_roundtrip;
+    QCheck_alcotest.to_alcotest json_number_roundtrip_prop;
     QCheck_alcotest.to_alcotest percentile_monotone_prop;
   ]
