@@ -666,8 +666,8 @@ let table3 () =
             (fun l (a, b) ->
               let failed = G.fail_links g [ l ] in
               match R3_net.Spf.shortest_path g ~failed ~weights:w ~src:a ~dst:b () with
-              | Some path -> List.iter (fun e -> p.Routing.frac.(l).(e) <- 1.0) path
-              | None -> p.Routing.frac.(l).(l) <- 1.0)
+              | Some path -> List.iter (fun e -> Routing.set p (l) (e) 1.0) path
+              | None -> Routing.set p (l) (l) 1.0)
             link_pairs;
           p
         in

@@ -16,7 +16,7 @@ let smoke = ref false
 
 (* ---------- plan cache ---------- *)
 
-let cache_version = 5
+let cache_version = 6
 
 let cache_dir = ".bench-cache"
 

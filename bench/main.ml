@@ -29,6 +29,7 @@ let experiments =
     ("ablation", Experiments.ablation);
     ("lp", Lp_bench.run);
     ("sweep", Sweep_bench.run);
+    ("reconfig", Reconfig_bench.run);
     ("micro", Micro.main);
   ]
 

@@ -95,7 +95,7 @@ let bidir_groups g =
   |> List.map (fun e ->
          match G.reverse_link g e with Some r -> [ e; r ] | None -> [ e ])
 
-let precompute tag f bidir joint method_ seed load out metrics =
+let precompute tag f bidir joint method_ routing_backend seed load out metrics =
   let g = load_topology tag in
   let tm = make_tm g ~seed ~load in
   let pairs, _ = Traffic.commodities tm in
@@ -107,7 +107,15 @@ let precompute tag f bidir joint method_ seed load out metrics =
       Printf.eprintf "unknown method %S (use cg or dual)\n" other;
       exit 2
   in
-  let cfg = { (Offline.default_config ~f) with solve_method } in
+  let routing_backend =
+    match R3_net.Routing.Backend.of_string routing_backend with
+    | Some b -> b
+    | None ->
+      Printf.eprintf "unknown routing backend %S (use dense, sparse or auto)\n"
+        routing_backend;
+      exit 2
+  in
+  let cfg = { (Offline.default_config ~f) with solve_method; routing_backend } in
   let base_spec =
     if joint then Offline.Joint
     else
@@ -155,6 +163,13 @@ let precompute_cmd =
   let method_arg =
     Arg.(value & opt string "cg" & info [ "method" ] ~docv:"cg|dual" ~doc:"Solve method.")
   in
+  let routing_backend_arg =
+    Arg.(
+      value
+      & opt string "sparse"
+      & info [ "routing-backend" ] ~docv:"dense|sparse|auto"
+          ~doc:"Row storage for the extracted protection routing.")
+  in
   let out_arg =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Save plan.")
   in
@@ -162,7 +177,7 @@ let precompute_cmd =
     (Cmd.info "precompute" ~doc:"Run the R3 offline phase")
     Term.(
       const precompute $ topology_arg $ f_arg $ bidir_arg $ joint_arg $ method_arg
-      $ seed_arg $ load_arg $ out_arg $ metrics_arg)
+      $ routing_backend_arg $ seed_arg $ load_arg $ out_arg $ metrics_arg)
 
 (* ---- evaluate ---- *)
 

@@ -35,8 +35,8 @@ let routing_constraints lp g ~pairs vars =
       done)
     pairs
 
-let extract_routing sol g ~pairs vars =
-  let t = R3_net.Routing.create g ~pairs in
+let extract_routing ?backend sol g ~pairs vars =
+  let t = R3_net.Routing.create ?backend g ~pairs in
   Array.iteri
     (fun k row ->
       Array.iteri
@@ -46,7 +46,7 @@ let extract_routing sol g ~pairs vars =
           | Some var ->
             (* Clamp solver noise into [0, 1]. *)
             let x = sol.P.value var in
-            t.R3_net.Routing.frac.(k).(e) <- Float.max 0.0 (Float.min 1.0 x))
+            R3_net.Routing.set t k e (Float.max 0.0 (Float.min 1.0 x)))
         row)
     vars;
   t

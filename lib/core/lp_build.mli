@@ -24,8 +24,12 @@ val routing_constraints :
   routing_vars ->
   unit
 
-(** Read a solved routing back into the flow representation. *)
+(** Read a solved routing back into the flow representation, stored under
+    [backend] (default dense). Protection routings should pass
+    [Routing.Backend.Sparse]: their rows have support the size of one
+    detour path. *)
 val extract_routing :
+  ?backend:R3_net.Routing.Backend.t ->
   R3_lp.Problem.solution ->
   R3_net.Graph.t ->
   pairs:(R3_net.Graph.node * R3_net.Graph.node) array ->

@@ -28,6 +28,7 @@ type config = {
   cg_max_rounds : int;
   cg_warm_start : bool;
   lp_backend : P.backend;
+  routing_backend : Routing.Backend.t;
 }
 
 let default_config ~f =
@@ -41,6 +42,7 @@ let default_config ~f =
     cg_max_rounds = 60;
     cg_warm_start = true;
     lp_backend = `Sparse;
+    routing_backend = Routing.Backend.Sparse;
   }
 
 type plan = {
@@ -165,7 +167,7 @@ let build_master lp g (cfg : config) base_spec pairs demand_arrays =
       in
       (Some r_vars, Terms terms)
     | Fixed r ->
-      if Array.length r.Routing.pairs <> Array.length pairs then
+      if Routing.num_commodities r <> Array.length pairs then
         invalid_arg "Offline: fixed base routing commodities mismatch";
       let loads =
         List.map (fun demands -> Routing.loads g ~demands r) demand_arrays
@@ -188,8 +190,13 @@ let base_terms base_load (demand_arrs : float array array) h e =
   | Terms f -> (f demand_arrs.(h) e, 0.0)
   | Const loads -> ([], loads.(h).(e))
 
-let finish lp sol g pairs p_vars r_vars base_spec mlu_var =
-  let protection = Lp_build.extract_routing sol g ~pairs:(Lp_build.link_pairs g) p_vars in
+let finish ~(cfg : config) lp sol g pairs p_vars r_vars base_spec mlu_var =
+  (* Protection rows have support the size of one detour path; the base
+     routing spreads over much of the network and stays dense. *)
+  let protection =
+    Lp_build.extract_routing ~backend:cfg.routing_backend sol g
+      ~pairs:(Lp_build.link_pairs g) p_vars
+  in
   let base =
     match (base_spec, r_vars) with
     | Fixed r, _ -> r
@@ -247,7 +254,7 @@ let compute_dualized (cfg : config) g tms base_spec =
   with
   | Error _ as e -> e
   | Ok sol ->
-    let base, protection, mlu_val = finish lp sol g pairs p_vars r_vars base_spec mlu in
+    let base, protection, mlu_val = finish ~cfg lp sol g pairs p_vars r_vars base_spec mlu in
     Ok
       {
         graph = g;
@@ -272,7 +279,7 @@ let audit_worst_mlu g ~f ~base_loads ~protection =
   let utils =
     Parallel.init m (fun e ->
         let weights =
-          Array.init m (fun l -> G.capacity g l *. protection.Routing.frac.(l).(e))
+          Array.init m (fun l -> G.capacity g l *. Routing.get protection l e)
         in
         let ml = Virtual_demand.worst_virtual_load ~f weights in
         (base_loads.(e) +. ml) /. G.capacity g e)
@@ -349,7 +356,7 @@ let compute_cg (cfg : config) g tms base_spec =
           Parallel.init (nh * m) (fun i ->
               let h = i / m and e = i mod m in
               let weights =
-                Array.init m (fun l -> G.capacity g l *. p.Routing.frac.(l).(e))
+                Array.init m (fun l -> G.capacity g l *. Routing.get p l e)
               in
               let ml, set = Virtual_demand.worst_virtual_load_set ~f:cfg.f weights in
               (h, e, ml, set))
@@ -380,7 +387,7 @@ let compute_cg (cfg : config) g tms base_spec =
         R3_util.Metrics.add Obs.cg_cuts !violated;
         if !violated = 0 || not budget_left then begin
           Obs.T.add_attr "cg_rounds" (Obs.T.Int round);
-          let base, protection, mlu_val = finish lp sol g pairs p_vars r_vars base_spec mlu in
+          let base, protection, mlu_val = finish ~cfg lp sol g pairs p_vars r_vars base_spec mlu in
           let mlu_val =
             if !violated = 0 then mlu_val
             else begin

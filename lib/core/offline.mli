@@ -41,6 +41,11 @@ type config = {
           Default [true]; [false] is the benchmark baseline. *)
   lp_backend : R3_lp.Problem.backend;
       (** simplex tableau representation for cold solves (default [`Sparse]) *)
+  routing_backend : R3_net.Routing.Backend.t;
+      (** row storage for the extracted {e protection} routing (default
+          [Sparse]: each row is one detour path wide, and the online
+          failure folding is O(nnz) per row on sparse storage). The base
+          routing is always extracted dense. *)
 }
 
 val default_config : f:int -> config

@@ -26,7 +26,7 @@ let audit_class_mlus ?srlgs ~classes (plan : Offline.plan) =
              let weights =
                Array.init m (fun l ->
                    R3_net.Graph.capacity g l
-                   *. plan.Offline.protection.Routing.frac.(l).(e))
+                   *. Routing.get plan.Offline.protection l e)
              in
              let value, _ =
                Structured.worst_structured_load
@@ -72,7 +72,7 @@ let compute (cfg : Offline.config) g ?srlgs ~classes base_spec =
       Lp_build.routing_constraints lp g ~pairs rv;
       Some rv
     | Offline.Fixed r ->
-      if Array.length r.Routing.pairs <> Array.length pairs then
+      if Routing.num_commodities r <> Array.length pairs then
         invalid_arg "Priority.compute: fixed base commodities mismatch";
       None
   in
@@ -162,7 +162,7 @@ let compute (cfg : Offline.config) g ?srlgs ~classes base_spec =
             let loads = base_loads_for ci in
             for e = 0 to m - 1 do
               let weights =
-                Array.init m (fun l -> G.capacity g l *. p.Routing.frac.(l).(e))
+                Array.init m (fun l -> G.capacity g l *. Routing.get p l e)
               in
               (* Oracle: plain knapsack for arbitrary failures, or the
                  structured LP restricted to fi concurrent SRLG events.

@@ -1,5 +1,6 @@
 module G = R3_net.Graph
 module Routing = R3_net.Routing
+module Rowvec = R3_util.Rowvec
 
 type state = {
   graph : G.t;
@@ -9,6 +10,12 @@ type state = {
   protection : Routing.t;
   failed : G.link_set;
 }
+
+module Obs = struct
+  module M = R3_util.Metrics
+
+  let cow_shared_ratio = M.gauge "r3.reconfig.cow_shared_ratio"
+end
 
 let of_plan (plan : Offline.plan) =
   {
@@ -21,7 +28,7 @@ let of_plan (plan : Offline.plan) =
   }
 
 let make graph ~pairs ~demands ~base ~protection =
-  if Array.length (protection.Routing.pairs) <> G.num_links graph then
+  if Routing.num_commodities protection <> G.num_links graph then
     invalid_arg "Reconfig.make: protection must have one commodity per link";
   {
     graph;
@@ -34,112 +41,64 @@ let make graph ~pairs ~demands ~base ~protection =
 
 let one_tol = 1e-9
 
-let detour st e =
-  let m = G.num_links st.graph in
-  let pe = st.protection.Routing.frac.(e) in
-  let self = pe.(e) in
-  let xi = Array.make m 0.0 in
-  if self < 1.0 -. one_tol then begin
-    let scale = 1.0 /. (1.0 -. self) in
-    for l = 0 to m - 1 do
-      if l <> e then xi.(l) <- pe.(l) *. scale
-    done
-  end;
-  xi
+let detour_vec st e = Routing.rescale_detour ~tol:one_tol st.protection e
 
-let apply_failure st e =
+let detour st e = Rowvec.to_dense (G.num_links st.graph) (detour_vec st e)
+
+(* The single failure kernel behind [apply_failure], [step] and both
+   bidirectional variants: every caller provably runs the same
+   arithmetic, so stepped, folded, and direction-paired states cannot
+   drift apart. Copy-on-write throughout — rows the failure does not
+   touch are shared with the parent, so a scenario-tree traversal pays
+   O(changed rows) per edge and nothing here mutates [st]. *)
+let fail_one st e =
   if st.failed.(e) then st
   else begin
-    let xi = detour st e in
-    let m = G.num_links st.graph in
+    let xi = detour_vec st e in
     (* (9): fold the base traffic of the failed link onto the detour. *)
-    let update_row row =
-      let on_e = row.(e) in
-      if on_e > 0.0 then begin
-        for l = 0 to m - 1 do
-          if l <> e then row.(l) <- row.(l) +. (on_e *. xi.(l))
-        done
-      end;
-      row.(e) <- 0.0
+    let base, (bs, bc) =
+      Routing.fold_failure st.base ~e ~xi ~replace_with_detour:false
     in
-    let base = Routing.copy st.base in
-    Array.iter update_row base.Routing.frac;
     (* (10): same for every other link's protection routing. The failed
        link's own row becomes the detour xi_e itself: its virtual demand
        leaves X_F, but the forwarding plane keeps using xi_e to carry the
        link's real traffic (and later failures keep rescaling it). *)
-    let protection = Routing.copy st.protection in
-    Array.iteri
-      (fun l row -> if l <> e then update_row row)
-      protection.Routing.frac;
-    Array.blit xi 0 protection.Routing.frac.(e) 0 m;
+    let protection, (ps, pc) =
+      Routing.fold_failure st.protection ~e ~xi ~replace_with_detour:true
+    in
+    let shared = bs + ps and copied = bc + pc in
+    if shared + copied > 0 then
+      R3_util.Metrics.set_gauge Obs.cow_shared_ratio
+        (float_of_int shared /. float_of_int (shared + copied));
     let failed = Array.copy st.failed in
     failed.(e) <- true;
     { st with base; protection; failed }
   end
 
-let apply_bidir_failure st e =
-  let st = apply_failure st e in
-  match G.reverse_link st.graph e with
-  | Some r -> apply_failure st r
-  | None -> st
+let fail_bidir st e =
+  let st = fail_one st e in
+  match G.reverse_link st.graph e with Some r -> fail_one st r | None -> st
+
+let apply_failure = fail_one
+
+let apply_bidir_failure = fail_bidir
 
 let apply_failures st links = List.fold_left apply_failure st links
 
-(* Copy-on-write variant of [update_row] for the persistent [step]: rows
-   the failure does not touch are returned as-is and shared with the
-   parent state, so a tree traversal pays only for the rows that change.
-   Mirrors [apply_failure]'s arithmetic exactly (including the
-   unconditional [row.(e) <- 0.0], which can turn a stray [-0.0] into
-   [+0.0]) so stepped and copied states are bit-identical. *)
-let cow_update_row ~m ~e ~xi row =
-  let on_e = row.(e) in
-  if on_e > 0.0 then begin
-    let row' = Array.copy row in
-    for l = 0 to m - 1 do
-      if l <> e then
-        Array.unsafe_set row' l
-          (Array.unsafe_get row' l +. (on_e *. Array.unsafe_get xi l))
-    done;
-    row'.(e) <- 0.0;
-    row'
-  end
-  else if on_e = 0.0 && not (Float.sign_bit on_e) then row
-  else begin
-    (* -0.0 or negative solver noise: [apply_failure] only zeroes the
-       entry (its add loop is gated on [on_e > 0.0]). *)
-    let row' = Array.copy row in
-    row'.(e) <- 0.0;
-    row'
-  end
+let step = fail_one
 
-let step st e =
-  if st.failed.(e) then st
-  else begin
-    let xi = detour st e in
-    let m = G.num_links st.graph in
-    let base_frac = Array.map (cow_update_row ~m ~e ~xi) st.base.Routing.frac in
-    let prot_frac =
-      Array.mapi
-        (fun l row -> if l = e then row else cow_update_row ~m ~e ~xi row)
-        st.protection.Routing.frac
+let step_bidir = fail_bidir
+
+let states_bit_identical a b =
+  let matrix_eq x y =
+    let bits m =
+      Array.map (Array.map Int64.bits_of_float) (Routing.to_dense_matrix m)
     in
-    (* As in [apply_failure]: the failed link's own protection row becomes
-       the detour itself. *)
-    prot_frac.(e) <- xi;
-    let failed = Array.copy st.failed in
-    failed.(e) <- true;
-    {
-      st with
-      base = { st.base with Routing.frac = base_frac };
-      protection = { st.protection with Routing.frac = prot_frac };
-      failed;
-    }
-  end
-
-let step_bidir st e =
-  let st = step st e in
-  match G.reverse_link st.graph e with Some r -> step st r | None -> st
+    bits x = bits y
+  in
+  a.failed = b.failed
+  && matrix_eq a.base b.base
+  && matrix_eq a.protection b.protection
 
 let loads st = Routing.loads st.graph ~demands:st.demands st.base
 

@@ -37,7 +37,9 @@ val make :
 val detour : state -> R3_net.Graph.link -> float array
 
 (** Fail a single directed link: rescale and update [r] and [p].
-    Idempotent on already-failed links. *)
+    Idempotent on already-failed links. The parent state is never
+    mutated; unmodified routing rows are shared with it (copy-on-write),
+    so this is O(rows touched by the failure), not O(whole state). *)
 val apply_failure : state -> R3_net.Graph.link -> state
 
 (** Fail a link and its reverse direction (physical failure). *)
@@ -48,20 +50,29 @@ val apply_failures : state -> R3_net.Graph.link list -> state
 
 (** {2 Persistent steps for scenario-tree traversal}
 
-    [apply_failure] deep-copies both routings on every call — fine for a
-    single scenario, wasteful when sweeping thousands that share prefixes.
-    [step] is the copy-on-write equivalent: the returned state shares every
-    routing row the failure does not touch with its parent, so a DFS over a
-    scenario tree pays O(changed rows) per edge instead of O(whole state).
-    Parent states are never mutated; any number of children may be stepped
-    from the same state (Theorem 3 makes the traversal order immaterial).
-    Stepped states are bit-identical to [apply_failure]'d ones. *)
+    [step] and [apply_failure] are the {e same} copy-on-write kernel (one
+    shared [fail_one] core — likewise [step_bidir] and
+    [apply_bidir_failure]): the returned state shares every routing row
+    the failure does not touch with its parent, so a DFS over a scenario
+    tree pays O(changed rows) per edge instead of O(whole state). Parent
+    states are never mutated; any number of children may be stepped from
+    the same state (Theorem 3 makes the traversal order immaterial).
+    Stepped states are bit-identical to [apply_failure]'d ones —
+    checkable with {!states_bit_identical}. Both names are kept so
+    call sites read as intended. *)
 
 (** Copy-on-write [apply_failure]: shares unmodified rows with [state]. *)
 val step : state -> R3_net.Graph.link -> state
 
 (** Copy-on-write [apply_bidir_failure]. *)
 val step_bidir : state -> R3_net.Graph.link -> state
+
+(** True iff the two states have the same failure set and bit-identical
+    base and protection routings (compared via [Int64.bits_of_float] on
+    the dense image, so [-0.0] differs from [+0.0] and storage backend
+    does not matter). The equivalence check used by the tests for
+    [apply_failures]-vs-[step] folds and dense-vs-sparse backends. *)
+val states_bit_identical : state -> state -> bool
 
 (** Per-link load of the real traffic under the current base routing. *)
 val loads : state -> float array

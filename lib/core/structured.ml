@@ -125,7 +125,7 @@ let audit_mlu (plan : Offline.plan) groups =
     R3_util.Parallel.init m (fun e ->
         let weights =
           Array.init m (fun l ->
-              G.capacity g l *. plan.Offline.protection.Routing.frac.(l).(e))
+              G.capacity g l *. Routing.get plan.Offline.protection l e)
         in
         let value, _ = worst_structured_load groups weights in
         (base_loads.(e) +. value) /. G.capacity g e)
@@ -199,7 +199,7 @@ let compute (cfg : Offline.config) g tm groups base_spec =
           pairs);
       Some rv
     | Offline.Fixed r ->
-      if Array.length r.Routing.pairs <> Array.length pairs then
+      if Routing.num_commodities r <> Array.length pairs then
         invalid_arg "Structured.compute: fixed base commodities mismatch";
       None
   in
@@ -279,7 +279,7 @@ let compute (cfg : Offline.config) g tm groups base_spec =
           Obs.T.with_span "offline.oracle" @@ fun () ->
           R3_util.Parallel.init m (fun e ->
               let weights =
-                Array.init m (fun l -> G.capacity g l *. p.Routing.frac.(l).(e))
+                Array.init m (fun l -> G.capacity g l *. Routing.get p l e)
               in
               worst_structured_load groups weights)
         in

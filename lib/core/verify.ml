@@ -6,7 +6,7 @@ let offline_worst_mlu g ~f ~base_loads ~protection =
   let worst = ref 0.0 in
   for e = 0 to m - 1 do
     let weights =
-      Array.init m (fun l -> G.capacity g l *. protection.Routing.frac.(l).(e))
+      Array.init m (fun l -> G.capacity g l *. Routing.get protection l e)
     in
     let ml = Virtual_demand.worst_virtual_load ~f weights in
     let u = (base_loads.(e) +. ml) /. G.capacity g e in
@@ -80,14 +80,14 @@ let check_theorem1 ?(samples = 300) ?(seed = 12345) ?(tol = 1e-5) (plan : Offlin
 
 let routing_distance a b =
   let acc = ref 0.0 in
-  Array.iteri
-    (fun k row ->
-      Array.iteri
-        (fun e x ->
-          let d = Float.abs (x -. b.Routing.frac.(k).(e)) in
-          if d > !acc then acc := d)
-        row)
-    a.Routing.frac;
+  let m = Routing.num_links a in
+  for k = 0 to Routing.num_commodities a - 1 do
+    let ra = Routing.row_dense a k and rb = Routing.row_dense b k in
+    for e = 0 to m - 1 do
+      let d = Float.abs (ra.(e) -. rb.(e)) in
+      if d > !acc then acc := d
+    done
+  done;
   !acc
 
 let rec permutations = function

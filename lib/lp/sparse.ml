@@ -1,236 +1,43 @@
-type t = {
-  mutable idx : int array;  (* strictly increasing over [0, n) *)
-  mutable v : float array;
-  mutable n : int;
-}
+(* The simplex-tableau sparse row is the shared [R3_util.Rowvec] kernel
+   instantiated with a 1e-14 drop tolerance: long pivot sequences need
+   fill-in bounded, and after row equilibration every coefficient is O(1)
+   so the tolerance never disturbs a meaningful entry. The routing
+   substrate uses the same kernels with drop = 0.0 (bit-exactness). *)
+
+module R = R3_util.Rowvec
+
+type t = R.t
 
 let drop = 1e-14
 
-let create ?(cap = 8) () =
-  let cap = Int.max cap 1 in
-  { idx = Array.make cap 0; v = Array.make cap 0.0; n = 0 }
+let create ?cap () = R.create ?cap ()
 
-let nnz r = r.n
+let nnz = R.nnz
 
-let ensure r cap =
-  if Array.length r.idx < cap then begin
-    let cap' = Int.max cap (2 * Array.length r.idx) in
-    let idx = Array.make cap' 0 and v = Array.make cap' 0.0 in
-    Array.blit r.idx 0 idx 0 r.n;
-    Array.blit r.v 0 v 0 r.n;
-    r.idx <- idx;
-    r.v <- v
-  end
+let copy = R.copy
 
-let copy r =
-  {
-    idx = Array.sub r.idx 0 (Int.max r.n 1);
-    v = Array.sub r.v 0 (Int.max r.n 1);
-    n = r.n;
-  }
+let of_pairs idx v = R.of_pairs ~drop idx v
 
-let of_pairs idx v =
-  let k = Array.length idx in
-  if Array.length v <> k then invalid_arg "Sparse.of_pairs: length mismatch";
-  let order = Array.init k Fun.id in
-  Array.sort (fun a b -> Int.compare idx.(a) idx.(b)) order;
-  let r = create ~cap:(Int.max k 1) () in
-  Array.iter
-    (fun s ->
-      let j = idx.(s) and x = v.(s) in
-      if r.n > 0 && r.idx.(r.n - 1) = j then r.v.(r.n - 1) <- r.v.(r.n - 1) +. x
-      else begin
-        r.idx.(r.n) <- j;
-        r.v.(r.n) <- x;
-        r.n <- r.n + 1
-      end)
-    order;
-  (* squeeze out entries that summed to (near) zero *)
-  let w = ref 0 in
-  for s = 0 to r.n - 1 do
-    if Float.abs r.v.(s) > drop then begin
-      r.idx.(!w) <- r.idx.(s);
-      r.v.(!w) <- r.v.(s);
-      incr w
-    end
-  done;
-  r.n <- !w;
-  r
+let get = R.get
 
-(* Position of column [j] in [r.idx], or [-1]. *)
-let find r j =
-  let lo = ref 0 and hi = ref (r.n - 1) and res = ref (-1) in
-  while !lo <= !hi do
-    let mid = (!lo + !hi) / 2 in
-    let c = Array.unsafe_get r.idx mid in
-    if c = j then begin
-      res := mid;
-      lo := !hi + 1
-    end
-    else if c < j then lo := mid + 1
-    else hi := mid - 1
-  done;
-  !res
+let clear = R.clear
 
-let get r j =
-  let s = find r j in
-  if s < 0 then 0.0 else r.v.(s)
+let set r j x = R.set ~drop r j x
 
-let remove_at r s =
-  Array.blit r.idx (s + 1) r.idx s (r.n - s - 1);
-  Array.blit r.v (s + 1) r.v s (r.n - s - 1);
-  r.n <- r.n - 1
+let scale r k = R.scale ~drop r k
 
-let clear r j =
-  let s = find r j in
-  if s >= 0 then remove_at r s
+type scratch = R.scratch
 
-let set r j x =
-  let s = find r j in
-  if s >= 0 then begin
-    if Float.abs x <= drop then remove_at r s else r.v.(s) <- x
-  end
-  else if Float.abs x > drop then begin
-    ensure r (r.n + 1);
-    (* insertion point: first entry with index > j *)
-    let p = ref r.n in
-    while !p > 0 && r.idx.(!p - 1) > j do
-      decr p
-    done;
-    Array.blit r.idx !p r.idx (!p + 1) (r.n - !p);
-    Array.blit r.v !p r.v (!p + 1) (r.n - !p);
-    r.idx.(!p) <- j;
-    r.v.(!p) <- x;
-    r.n <- r.n + 1
-  end
+let scratch = R.scratch
 
-let scale r k =
-  let w = ref 0 in
-  for s = 0 to r.n - 1 do
-    let x = r.v.(s) *. k in
-    if Float.abs x > drop then begin
-      r.idx.(!w) <- r.idx.(s);
-      r.v.(!w) <- x;
-      incr w
-    end
-  done;
-  r.n <- !w
+let axpy ?scratch ~y ~x factor = R.axpy ~drop ?scratch ~y ~x factor
 
-type scratch = { mutable sidx : int array; mutable sv : float array }
+let raw = R.raw
 
-let scratch () = { sidx = Array.make 16 0; sv = Array.make 16 0.0 }
+let iter = R.iter
 
-let axpy ?scratch:sc ~y ~x factor =
-  if x.n <> 0 && factor <> 0.0 then begin
-    (* Merge into a spare buffer (worst case y.n + x.n entries), then
-       install. With [?scratch] the buffer persists call-to-call and the
-       merged entries are blitted back into [y] (grown geometrically), so
-       the steady state allocates nothing - this merge runs once per
-       (active row x pivot), and per-call allocation dominated the whole
-       solve before. *)
-    let cap = Int.max (y.n + x.n) 1 in
-    let idx, v =
-      match sc with
-      | None -> (Array.make cap 0, Array.make cap 0.0)
-      | Some sc ->
-        if Array.length sc.sidx < cap then begin
-          let cap' = Int.max cap (2 * Array.length sc.sidx) in
-          sc.sidx <- Array.make cap' 0;
-          sc.sv <- Array.make cap' 0.0
-        end;
-        (sc.sidx, sc.sv)
-    in
-    (* The merge body is written out branch by branch: routing the values
-       through a local [push] closure boxes every float crossing the call,
-       and that allocation dominates the whole solve. *)
-    let w = ref 0 and a = ref 0 and b = ref 0 in
-    let yi = y.idx and yv = y.v and xi = x.idx and xv = x.v in
-    let yn = y.n and xn = x.n in
-    (* Entries surviving the drop test are committed by bumping [w]
-       (branchless: the stores are unconditional, [w] advances 0 or 1), which
-       avoids a hard-to-predict branch per merged element. *)
-    while !a < yn && !b < xn do
-      let ja = Array.unsafe_get yi !a and jb = Array.unsafe_get xi !b in
-      if ja < jb then begin
-        let value = Array.unsafe_get yv !a in
-        Array.unsafe_set idx !w ja;
-        Array.unsafe_set v !w value;
-        w := !w + Bool.to_int (Float.abs value > drop);
-        incr a
-      end
-      else if jb < ja then begin
-        let value = -.factor *. Array.unsafe_get xv !b in
-        Array.unsafe_set idx !w jb;
-        Array.unsafe_set v !w value;
-        w := !w + Bool.to_int (Float.abs value > drop);
-        incr b
-      end
-      else begin
-        let value =
-          Array.unsafe_get yv !a -. (factor *. Array.unsafe_get xv !b)
-        in
-        Array.unsafe_set idx !w ja;
-        Array.unsafe_set v !w value;
-        w := !w + Bool.to_int (Float.abs value > drop);
-        incr a;
-        incr b
-      end
-    done;
-    while !a < yn do
-      let value = Array.unsafe_get yv !a in
-      if Float.abs value > drop then begin
-        Array.unsafe_set idx !w (Array.unsafe_get yi !a);
-        Array.unsafe_set v !w value;
-        incr w
-      end;
-      incr a
-    done;
-    while !b < xn do
-      let value = -.factor *. Array.unsafe_get xv !b in
-      if Float.abs value > drop then begin
-        Array.unsafe_set idx !w (Array.unsafe_get xi !b);
-        Array.unsafe_set v !w value;
-        incr w
-      end;
-      incr b
-    done;
-    (match sc with
-    | None ->
-      y.idx <- idx;
-      y.v <- v
-    | Some sc ->
-      (* Swap: [y] keeps the merged buffer, the scratch inherits [y]'s old
-         storage for the next call (which grows it on demand). Cheaper than
-         blitting the merge result back into [y]. *)
-      sc.sidx <- y.idx;
-      sc.sv <- y.v;
-      y.idx <- idx;
-      y.v <- v);
-    y.n <- !w
-  end
+let fold = R.fold
 
-let raw r = (r.idx, r.v, r.n)
+let dot = R.dot
 
-let iter f r =
-  for s = 0 to r.n - 1 do
-    f (Array.unsafe_get r.idx s) (Array.unsafe_get r.v s)
-  done
-
-let fold f r acc =
-  let acc = ref acc in
-  for s = 0 to r.n - 1 do
-    acc := f r.idx.(s) r.v.(s) !acc
-  done;
-  !acc
-
-let dot r dense =
-  let acc = ref 0.0 in
-  for s = 0 to r.n - 1 do
-    acc := !acc +. (Array.unsafe_get r.v s *. Array.unsafe_get dense (Array.unsafe_get r.idx s))
-  done;
-  !acc
-
-let to_dense width r =
-  let out = Array.make width 0.0 in
-  iter (fun j x -> out.(j) <- x) r;
-  out
+let to_dense = R.to_dense

@@ -6,6 +6,11 @@
     at a time). R3's constraint rows carry a handful of nonzeros out of
     thousands of columns, so every kernel here is O(nnz), never O(width).
 
+    This module is the shared {!R3_util.Rowvec} kernel set instantiated
+    with the tableau's {!val-drop} tolerance; the routing storage
+    substrate ([R3_net.Routing]) uses the same kernels with an exact-zero
+    tolerance.
+
     Values with magnitude below {!val-drop} are treated as structural
     zeros and removed by the mutating kernels; this bounds fill-in during
     long pivot sequences without disturbing equilibrated rows (all

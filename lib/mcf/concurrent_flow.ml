@@ -178,8 +178,8 @@ let run_gk_body g ?failed ~epsilon ~track ~pairs ~demands () =
             if dem.(i) > 0.0 then begin
               let denom = t *. dem.(i) in
               for e = 0 to m - 1 do
-                routing.R3_net.Routing.frac.(orig_k).(e) <-
-                  Float.max 0.0 (Float.min 1.0 (kflows.(i).(e) /. denom))
+                R3_net.Routing.set routing orig_k e
+                  (Float.max 0.0 (Float.min 1.0 (kflows.(i).(e) /. denom)))
               done
             end)
           live
@@ -275,8 +275,8 @@ let min_mlu_exact g ?failed ~pairs ~demands () =
         for e = 0 to m - 1 do
           match Hashtbl.find_opt vars (k, e) with
           | Some v ->
-            routing.R3_net.Routing.frac.(k).(e) <-
-              Float.max 0.0 (Float.min 1.0 (sol.P.value v))
+            R3_net.Routing.set routing k e
+              (Float.max 0.0 (Float.min 1.0 (sol.P.value v)))
           | None -> ()
         done)
       live;

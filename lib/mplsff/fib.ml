@@ -20,13 +20,13 @@ let label_of_link e = label_base + e
 let link_of_label l = l - label_base
 
 let of_protection g p =
-  if Array.length p.Routing.pairs <> G.num_links g then
+  if Routing.num_commodities p <> G.num_links g then
     invalid_arg "Fib.of_protection: protection must cover every link";
   let n = G.num_nodes g in
   let fibs = Array.init n (fun router -> { router; ilm = Hashtbl.create 16 }) in
   let m = G.num_links g in
   for l = 0 to m - 1 do
-    let row = p.Routing.frac.(l) in
+    let row = Routing.row_dense p l in
     let label = label_of_link l in
     for v = 0 to n - 1 do
       (* Ratios over outgoing links; at the protected link's head the link

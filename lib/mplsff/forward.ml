@@ -13,7 +13,7 @@ type network = {
 let make g ~base ~fib ?failed ?(hash_seed = 42) () =
   let failed = match failed with Some f -> f | None -> G.no_failures g in
   let pair_index = Hashtbl.create 64 in
-  Array.iteri (fun k pr -> Hashtbl.replace pair_index pr k) base.Routing.pairs;
+  Array.iteri (fun k pr -> Hashtbl.replace pair_index pr k) (Routing.pairs base);
   { graph = g; base; pair_index; fib; failed; hash_seed }
 
 type trace = {
@@ -30,7 +30,6 @@ let forward net ~flow ~src ~dst =
   match Hashtbl.find_opt net.pair_index (src, dst) with
   | None -> Error "forward: unknown OD pair"
   | Some k ->
-    let row = net.base.Routing.frac.(k) in
     let max_hops = 8 * G.num_nodes g in
     let traversed = ref [] in
     let deepest = ref 0 in
@@ -72,7 +71,7 @@ let forward net ~flow ~src ~dst =
         | [] -> begin
           (* Base forwarding: hash over the base splitting ratios here. *)
           let outs = G.out_links g v in
-          let weights = Array.map (fun e -> row.(e)) outs in
+          let weights = Array.map (fun e -> Routing.get net.base k e) outs in
           let total = Array.fold_left ( +. ) 0.0 weights in
           if total <= 1e-12 then Error "forward: no base next hop (dropped)"
           else begin

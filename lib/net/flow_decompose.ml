@@ -58,8 +58,8 @@ let strip_cycles g frac =
   !removed
 
 let decompose g t k =
-  let a, b = t.Routing.pairs.(k) in
-  let frac = Array.copy t.Routing.frac.(k) in
+  let a, b = Routing.pair t k in
+  let frac = Routing.row_dense t k in
   let circulation = strip_cycles g frac in
   let paths = ref [] in
   let guard = ref (Graph.num_links g + 4) in
@@ -120,7 +120,7 @@ let total_paths g t =
 (* Paths compare equal when they traverse the same links; weights may be
    retuned without re-signalling, so churn counts link-sequence changes. *)
 let path_churn g ~before ~after =
-  if Array.length before.Routing.pairs <> Array.length after.Routing.pairs then
+  if Routing.num_commodities before <> Routing.num_commodities after then
     invalid_arg "Flow_decompose.path_churn: commodity mismatch";
   let fresh = ref 0 and total = ref 0 in
   for k = 0 to Routing.num_commodities after - 1 do

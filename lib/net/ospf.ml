@@ -56,9 +56,10 @@ let ecmp_fractions g failed weights dist_to ~a ~dst row =
       end)
     order
 
-let routing g ?failed ~weights ~pairs () =
+let routing g ?backend ?failed ~weights ~pairs () =
   let failed = match failed with Some f -> f | None -> Graph.no_failures g in
-  let t = Routing.create g ~pairs in
+  let t = Routing.create ?backend g ~pairs in
+  let row = Array.make (Graph.num_links g) 0.0 in
   (* Group commodities by destination so each destination needs exactly one
      reverse-Dijkstra pass. *)
   let by_dst = Hashtbl.create 16 in
@@ -73,8 +74,11 @@ let routing g ?failed ~weights ~pairs () =
       List.iter
         (fun k ->
           let a, _ = pairs.(k) in
-          if dist_to.(a) < infinity then
-            ecmp_fractions g failed weights dist_to ~a ~dst:b t.Routing.frac.(k))
+          if dist_to.(a) < infinity then begin
+            Array.fill row 0 (Array.length row) 0.0;
+            ecmp_fractions g failed weights dist_to ~a ~dst:b row;
+            Routing.set_row_dense t k row
+          end)
         ks)
     by_dst;
   t

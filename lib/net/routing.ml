@@ -1,70 +1,456 @@
-type t = {
-  pairs : (Graph.node * Graph.node) array;
-  frac : float array array;
+module Rowvec = R3_util.Rowvec
+
+module Backend = struct
+  type t = Dense | Sparse | Auto
+
+  let to_string = function
+    | Dense -> "dense"
+    | Sparse -> "sparse"
+    | Auto -> "auto"
+
+  let of_string = function
+    | "dense" -> Some Dense
+    | "sparse" -> Some Sparse
+    | "auto" -> Some Auto
+    | _ -> None
+end
+
+let auto_nnz_ratio = 0.25
+
+(* New-row materializations per representation; row *sharing* (copy,
+   untouched fold_failure rows) deliberately does not count. *)
+module Obs = struct
+  module M = R3_util.Metrics
+
+  let dense_rows = M.counter "r3.routing.dense_rows"
+  let sparse_rows = M.counter "r3.routing.sparse_rows"
+end
+
+type payload = D of float array | S of Rowvec.t
+
+(* Row payloads are shared between routings (copy-on-write): flag byte
+   '\001' in [shr] means "may be referenced by another routing — copy
+   before mutating". The flag is sticky on the parent: cheap, and only
+   costs a spurious copy if the parent is mutated later.
+
+   [cols] is the lazily-built column support index: for link [e] it
+   enumerates the rows whose support MAY include [e] (a superset is fine —
+   every candidate's coefficient is re-read, and stale entries simply
+   re-read a zero). It turns the failure fold from a scan of all rows into
+   a visit of just the rows the failed link touches. Folded children
+   inherit the parent's base array untouched and push one overlay
+   [(xi, touched)] meaning "these rows may now have support anywhere in
+   xi's support" — no per-fold array copy, no per-entry conses. Any
+   direct row mutation invalidates the whole index. *)
+type colidx = {
+  cbase : int list array;
+  overlays : (Rowvec.t * int list) list;
 }
 
-let create g ~pairs =
+(* Rows live in chunks of 128 payload pointers, not one flat array: a
+   folded child needs its own row table, and a flat [nk]-entry pointer
+   array is a major-heap allocation (beyond the minor limit) whose copy
+   pays a write-barrier per element and whose garbage drives major GC
+   slices — a per-fold tax both backends paid equally. Chunks stay in
+   the minor heap: copying is plain memcpy and dead children vanish in
+   the next minor collection. Chunks are always exclusively owned by
+   their routing (only payloads are copy-on-write shared). *)
+let chunk_bits = 7
+
+let chunk_size = 1 lsl chunk_bits
+
+type t = {
+  prs : (Graph.node * Graph.node) array;
+  m : int;
+  bk : Backend.t;
+  rows : payload array array;
+  shr : Bytes.t;
+  mutable cols : colidx option;
+}
+
+let rget rows k =
+  Array.unsafe_get
+    (Array.unsafe_get rows (k lsr chunk_bits))
+    (k land (chunk_size - 1))
+
+let rset rows k p =
+  Array.unsafe_set
+    (Array.unsafe_get rows (k lsr chunk_bits))
+    (k land (chunk_size - 1))
+    p
+
+let rows_init nk f =
+  Array.init
+    ((nk + chunk_size - 1) / chunk_size)
+    (fun c ->
+      let lo = c * chunk_size in
+      Array.init (Int.min chunk_size (nk - lo)) (fun i -> f (lo + i)))
+
+let rows_copy rows = Array.map Array.copy rows
+
+let count_payload = function
+  | D _ -> R3_util.Metrics.incr Obs.dense_rows
+  | S _ -> R3_util.Metrics.incr Obs.sparse_rows
+
+let copy_payload = function
+  | D a -> D (Array.copy a)
+  | S r -> S (Rowvec.copy r)
+
+let create ?(backend = Backend.Dense) g ~pairs =
   let m = Graph.num_links g in
-  { pairs; frac = Array.init (Array.length pairs) (fun _ -> Array.make m 0.0) }
+  let nk = Array.length pairs in
+  let mk _ =
+    match backend with
+    | Backend.Dense -> D (Array.make m 0.0)
+    | Backend.Sparse | Backend.Auto -> S (Rowvec.create ~cap:4 ())
+  in
+  (match backend with
+  | Backend.Dense -> R3_util.Metrics.add Obs.dense_rows nk
+  | Backend.Sparse | Backend.Auto -> R3_util.Metrics.add Obs.sparse_rows nk);
+  {
+    prs = pairs;
+    m;
+    bk = backend;
+    rows = rows_init nk mk;
+    shr = Bytes.make nk '\000';
+    cols = None;
+  }
 
-let num_commodities t = Array.length t.pairs
+let backend t = t.bk
 
-let copy t = { pairs = Array.copy t.pairs; frac = Array.map Array.copy t.frac }
+let num_commodities t = Array.length t.prs
+
+let num_links t = t.m
+
+let pairs t = t.prs
+
+let pair t k = t.prs.(k)
+
+let copy t =
+  let nk = num_commodities t in
+  Bytes.fill t.shr 0 nk '\001';
+  {
+    t with
+    prs = Array.copy t.prs;
+    rows = rows_copy t.rows;
+    shr = Bytes.make nk '\001';
+  }
+
+let payload_get data e =
+  match data with D a -> a.(e) | S r -> Rowvec.get r e
+
+let get t k e = payload_get (rget t.rows k) e
+
+(* Un-share a row before mutating it in place. *)
+let own t k =
+  if Bytes.get t.shr k <> '\000' then begin
+    let data = copy_payload (rget t.rows k) in
+    count_payload data;
+    rset t.rows k data;
+    Bytes.set t.shr k '\000'
+  end
+
+(* Under [Auto], a sparse row that outgrew the ratio flips to dense. *)
+let maybe_densify t data =
+  match (t.bk, data) with
+  | Backend.Auto, S r
+    when float_of_int (Rowvec.nnz r) > auto_nnz_ratio *. float_of_int t.m ->
+    let d = D (Rowvec.to_dense t.m r) in
+    count_payload d;
+    d
+  | _ -> data
+
+let set t k e x =
+  (* Normalize -0.0 to +0.0 so dense storage cannot diverge (by sign bit
+     alone) from sparse storage, which drops exact zeros structurally. *)
+  let x = x +. 0.0 in
+  own t k;
+  (match rget t.rows k with
+  | D a -> a.(e) <- x
+  | S r ->
+    Rowvec.set r e x;
+    rset t.rows k (maybe_densify t (S r)));
+  t.cols <- None
+
+let iter_row t k f =
+  match rget t.rows k with
+  | D a ->
+    for e = 0 to Array.length a - 1 do
+      let x = Array.unsafe_get a e in
+      if x <> 0.0 then f e x
+    done
+  | S r -> Rowvec.iter f r
+
+let fold_row t k ~init ~f =
+  let acc = ref init in
+  iter_row t k (fun e x -> acc := f !acc e x);
+  !acc
+
+let row_nnz t k =
+  match rget t.rows k with
+  | D a ->
+    let c = ref 0 in
+    Array.iter (fun x -> if x <> 0.0 then incr c) a;
+    !c
+  | S r -> Rowvec.nnz r
+
+let row_dense t k =
+  match rget t.rows k with
+  | D a -> Array.copy a
+  | S r -> Rowvec.to_dense t.m r
+
+let row_vec t k =
+  match rget t.rows k with D a -> Rowvec.of_dense a | S r -> Rowvec.copy r
+
+let set_row_dense t k row =
+  if Array.length row <> t.m then invalid_arg "Routing.set_row_dense: bad length";
+  let data =
+    match t.bk with
+    | Backend.Dense -> D (Array.map (fun x -> x +. 0.0) row)
+    | Backend.Sparse -> S (Rowvec.of_dense row)
+    | Backend.Auto ->
+      let r = Rowvec.of_dense row in
+      if float_of_int (Rowvec.nnz r) > auto_nnz_ratio *. float_of_int t.m then
+        D (Array.map (fun x -> x +. 0.0) row)
+      else S r
+  in
+  count_payload data;
+  rset t.rows k data;
+  Bytes.set t.shr k '\000';
+  t.cols <- None
+
+let to_dense_matrix t = Array.init (num_commodities t) (row_dense t)
+
+let sparse_rows t =
+  let acc = ref 0 in
+  for k = 0 to num_commodities t - 1 do
+    match rget t.rows k with S _ -> incr acc | D _ -> ()
+  done;
+  !acc
+
+let dense_rows t =
+  let acc = ref 0 in
+  for k = 0 to num_commodities t - 1 do
+    match rget t.rows k with D _ -> incr acc | S _ -> ()
+  done;
+  !acc
+
+let nnz t =
+  let acc = ref 0 in
+  for k = 0 to num_commodities t - 1 do
+    acc := !acc + row_nnz t k
+  done;
+  !acc
+
+(* ---- column support index ---- *)
+
+let ensure_cols t =
+  match t.cols with
+  | Some c -> c
+  | None ->
+    let c = Array.make t.m [] in
+    for k = num_commodities t - 1 downto 0 do
+      match rget t.rows k with
+      | D a ->
+        for e = t.m - 1 downto 0 do
+          if Array.unsafe_get a e <> 0.0 then c.(e) <- k :: c.(e)
+        done
+      | S r -> Rowvec.iter (fun e _ -> c.(e) <- k :: c.(e)) r
+    done;
+    let ci = { cbase = c; overlays = [] } in
+    t.cols <- Some ci;
+    ci
+
+(* Visit every row that may have support at [e]: the base column plus any
+   overlay whose detour support contains [e]. Duplicates are possible and
+   harmless (the caller re-reads the live coefficient each time). *)
+let iter_candidates ci e f =
+  List.iter f ci.cbase.(e);
+  List.iter
+    (fun (vec, rows) -> if Rowvec.get vec e <> 0.0 then List.iter f rows)
+    ci.overlays
+
+(* ---- failure folding (equations (8)-(10)) ---- *)
+
+let rescale_detour ?(tol = 1e-9) t e =
+  let data = rget t.rows e in
+  let self = payload_get data e in
+  if self >= 1.0 -. tol then Rowvec.create ~cap:1 ()
+  else begin
+    let scale = 1.0 /. (1.0 -. self) in
+    match data with
+    | D a ->
+      let r = Rowvec.create ~cap:8 () in
+      for l = 0 to t.m - 1 do
+        if l <> e then begin
+          let x = Array.unsafe_get a l *. scale in
+          (* ascending indices: Rowvec.set appends in O(1) *)
+          if Float.abs x > 0.0 then Rowvec.set r l x
+        end
+      done;
+      r
+    | S row ->
+      let r = Rowvec.copy row in
+      Rowvec.clear r e;
+      Rowvec.scale r scale;
+      r
+  end
+
+(* (9)/(10) on one row: [row + on_e * xi], entry [e] zeroed. The dense
+   branch updates only xi's support — identical arithmetic to a full
+   [for l] loop because adding [on_e *. 0.0 = +0.0] to a non-negative
+   entry is the identity. The sparse branch is [Rowvec.merged]: one
+   ascending merge pass, [r]-only entries verbatim, [xi]-only entries
+   [on_e *. x] (same bits as dense's [0.0 +. (on_e *. x)] since [xi]
+   never stores [-0.0]), collisions [rv +. (on_e *. x)], exact zeros
+   dropped (the dense image is unchanged either way). *)
+let fold_payload ~e ~xi data on_e =
+  match data with
+  | D a ->
+    let a' = Array.copy a in
+    if on_e > 0.0 then
+      Rowvec.iter
+        (fun l x ->
+          Array.unsafe_set a' l (Array.unsafe_get a' l +. (on_e *. x)))
+        xi;
+    (* Unconditional, as in the paper kernel: also normalizes a stray
+       [-0.0] (negative solver noise gets zeroed, not detoured). *)
+    a'.(e) <- 0.0;
+    D a'
+  | S r -> S (Rowvec.merged ~skip:e ~y:r ~x:xi on_e)
+
+let fold_failure t ~e ~xi ~replace_with_detour =
+  let nk = num_commodities t in
+  (* Child starts as a full payload share; only candidate rows (support
+     possibly containing [e]) are re-read, everything else is untouched
+     by construction. The parent is bulk-marked shared. *)
+  let rows = rows_copy t.rows in
+  let shr = Bytes.make nk '\001' in
+  Bytes.fill t.shr 0 nk '\001';
+  let touched = ref [] and copied = ref 0 in
+  (* Counter deltas are batched and published once per fold: a per-row
+     atomic increment costs as much as the row copy it is counting. *)
+  let new_dense = ref 0 and new_sparse = ref 0 in
+  let install k data =
+    let data = maybe_densify t data in
+    (match data with D _ -> incr new_dense | S _ -> incr new_sparse);
+    rset rows k data;
+    Bytes.unsafe_set shr k '\000';
+    incr copied;
+    touched := k :: !touched
+  in
+  let visit k =
+    if not (replace_with_detour && k = e) then begin
+      (* Read through [rows]: superset indices can list a row twice, and
+         after the first fold its [e] entry is gone. *)
+      let on_e = payload_get (rget rows k) e in
+      if on_e > 0.0 then install k (fold_payload ~e ~xi (rget rows k) on_e)
+      else if on_e <> 0.0 || Float.sign_bit on_e then
+        (* -0.0 or negative solver noise: only entry [e] is zeroed. *)
+        install k
+          (match rget rows k with
+          | D a ->
+            let a' = Array.copy a in
+            a'.(e) <- 0.0;
+            D a'
+          | S r ->
+            let r' = Rowvec.copy r in
+            Rowvec.clear r' e;
+            S r')
+      (* on_e = +0.0: a stored zero; the row stays shared. *)
+    end
+  in
+  (* The support index is the sparse substrate's fold strategy: candidate
+     rows come from column [e]'s support. The pure-dense backend keeps
+     the historical semantics — scan every commodity row — both because
+     a dense matrix has no support structure to index without paying the
+     O(nk * m) scan the index exists to avoid, and so the benchmark
+     compares substrate-on against substrate-off. Either way every row
+     with a nonzero at [e] is visited, so results are bit-identical. *)
+  let cols' =
+    match t.bk with
+    | Backend.Dense ->
+      for k = 0 to nk - 1 do
+        visit k
+      done;
+      None
+    | Backend.Sparse | Backend.Auto ->
+      let ci = ensure_cols t in
+      iter_candidates ci e visit;
+      Some ci
+  in
+  if replace_with_detour then
+    install e
+      (match t.bk with
+      | Backend.Dense -> D (Rowvec.to_dense t.m xi)
+      | Backend.Sparse | Backend.Auto -> S (Rowvec.copy xi));
+  (* Inherit the support index: touched rows' supports grew by at most
+     xi's support, recorded as one overlay. Stale entries (column [e],
+     rows that shrank) are harmless supersets. *)
+  let cols' =
+    match (cols', !touched) with
+    | None, _ -> None
+    | Some ci, [] -> Some ci
+    | Some ci, tch ->
+      Some { ci with overlays = (Rowvec.copy xi, tch) :: ci.overlays }
+  in
+  if !new_dense > 0 then R3_util.Metrics.add Obs.dense_rows !new_dense;
+  if !new_sparse > 0 then R3_util.Metrics.add Obs.sparse_rows !new_sparse;
+  ({ t with rows; shr; cols = cols' }, (nk - !copied, !copied))
+
+(* ---- aggregate consumers ---- *)
 
 let validate g ?(tol = 1e-6) ?failed ?(partial = false) t =
   let failed = match failed with Some f -> f | None -> Graph.no_failures g in
-  let m = Graph.num_links g in
   let n = Graph.num_nodes g in
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
   let check_commodity k =
-    let a, b = t.pairs.(k) in
-    let row = t.frac.(k) in
-    if Array.length row <> m then err "commodity %d: row length mismatch" k
-    else begin
-      let bad = ref None in
-      for e = 0 to m - 1 do
+    let a, b = t.prs.(k) in
+    let bad = ref None in
+    iter_row t k (fun e x ->
         if !bad = None then begin
-          if row.(e) < -.tol || row.(e) > 1.0 +. tol then
-            bad := Some (Printf.sprintf "commodity %d: frac %g on link %d outside [0,1]" k row.(e) e)
-          else if failed.(e) && row.(e) > tol then
-            bad := Some (Printf.sprintf "commodity %d: flow %g on failed link %d" k row.(e) e)
-        end
-      done;
-      match !bad with
-      | Some msg -> Error msg
-      | None ->
-        let inflow = Array.make n 0.0 and outflow = Array.make n 0.0 in
-        for e = 0 to m - 1 do
-          inflow.(Graph.dst g e) <- inflow.(Graph.dst g e) +. row.(e);
-          outflow.(Graph.src g e) <- outflow.(Graph.src g e) +. row.(e)
-        done;
-        (* [R3]: nothing returns to the source. *)
-        if inflow.(a) > tol then
-          err "commodity %d (%d->%d): flow %g returns to source" k a b inflow.(a)
+          if x < -.tol || x > 1.0 +. tol then
+            bad :=
+              Some
+                (Printf.sprintf "commodity %d: frac %g on link %d outside [0,1]"
+                   k x e)
+          else if failed.(e) && x > tol then
+            bad :=
+              Some (Printf.sprintf "commodity %d: flow %g on failed link %d" k x e)
+        end);
+    match !bad with
+    | Some msg -> Error msg
+    | None ->
+      let inflow = Array.make n 0.0 and outflow = Array.make n 0.0 in
+      iter_row t k (fun e x ->
+          inflow.(Graph.dst g e) <- inflow.(Graph.dst g e) +. x;
+          outflow.(Graph.src g e) <- outflow.(Graph.src g e) +. x);
+      (* [R3]: nothing returns to the source. *)
+      if inflow.(a) > tol then
+        err "commodity %d (%d->%d): flow %g returns to source" k a b inflow.(a)
+      else begin
+        (* [R2]: the source emits 1 (or 0 when partial routing allowed). *)
+        let emitted = outflow.(a) in
+        let total_ok =
+          Float.abs (emitted -. 1.0) <= tol || (partial && Float.abs emitted <= tol)
+        in
+        if not total_ok then
+          err "commodity %d (%d->%d): source emits %g, expected 1" k a b emitted
         else begin
-          (* [R2]: the source emits 1 (or 0 when partial routing allowed). *)
-          let emitted = outflow.(a) in
-          let total_ok =
-            Float.abs (emitted -. 1.0) <= tol || (partial && Float.abs emitted <= tol)
-          in
-          if not total_ok then
-            err "commodity %d (%d->%d): source emits %g, expected 1" k a b emitted
-          else begin
-            (* [R1]: conservation at intermediate nodes. *)
-            let violation = ref None in
-            for v = 0 to n - 1 do
-              if v <> a && v <> b && !violation = None then
-                if Float.abs (inflow.(v) -. outflow.(v)) > tol then
-                  violation :=
-                    Some
-                      (Printf.sprintf
-                         "commodity %d (%d->%d): conservation violated at node %d (in %g, out %g)"
-                         k a b v inflow.(v) outflow.(v))
-            done;
-            match !violation with Some msg -> Error msg | None -> Ok ()
-          end
+          (* [R1]: conservation at intermediate nodes. *)
+          let violation = ref None in
+          for v = 0 to n - 1 do
+            if v <> a && v <> b && !violation = None then
+              if Float.abs (inflow.(v) -. outflow.(v)) > tol then
+                violation :=
+                  Some
+                    (Printf.sprintf
+                       "commodity %d (%d->%d): conservation violated at node %d (in %g, out %g)"
+                       k a b v inflow.(v) outflow.(v))
+          done;
+          match !violation with Some msg -> Error msg | None -> Ok ()
         end
-    end
+      end
   in
   let rec check k =
     if k >= num_commodities t then Ok ()
@@ -80,11 +466,13 @@ let add_loads g ~demands t ~into =
   Array.iteri
     (fun k d ->
       if d <> 0.0 then begin
-        let row = t.frac.(k) in
-        for e = 0 to m - 1 do
-          Array.unsafe_set into e
-            (Array.unsafe_get into e +. (d *. Array.unsafe_get row e))
-        done
+        match rget t.rows k with
+        | D row ->
+          for e = 0 to m - 1 do
+            Array.unsafe_set into e
+              (Array.unsafe_get into e +. (d *. Array.unsafe_get row e))
+          done
+        | S row -> Rowvec.scatter_add ~scale:d row ~into
       end)
     demands
 
@@ -113,17 +501,13 @@ let bottleneck g ~loads =
   !best
 
 let mean_delay g t k =
-  let row = t.frac.(k) in
   let acc = ref 0.0 in
-  for e = 0 to Graph.num_links g - 1 do
-    acc := !acc +. (row.(e) *. Graph.delay g e)
-  done;
+  iter_row t k (fun e x -> acc := !acc +. (x *. Graph.delay g e));
   !acc
 
 let delivered g t k =
-  let _, b = t.pairs.(k) in
-  let row = t.frac.(k) in
+  let _, b = t.prs.(k) in
   let inflow = ref 0.0 and outflow = ref 0.0 in
-  Array.iter (fun e -> inflow := !inflow +. row.(e)) (Graph.in_links g b);
-  Array.iter (fun e -> outflow := !outflow +. row.(e)) (Graph.out_links g b);
+  Array.iter (fun e -> inflow := !inflow +. get t k e) (Graph.in_links g b);
+  Array.iter (fun e -> outflow := !outflow +. get t k e) (Graph.out_links g b);
   !inflow -. !outflow

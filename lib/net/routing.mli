@@ -2,21 +2,133 @@
 
     A routing assigns, for each commodity [k] (an OD pair for the base
     routing [r], a protected link for the protection routing [p]), the
-    fraction [frac k e] of the commodity's traffic crossing each directed
-    link [e]. Validity is conditions [R1]–[R4] of equation (1). *)
+    fraction [get t k e] of the commodity's traffic crossing each directed
+    link [e]. Validity is conditions [R1]–[R4] of equation (1).
 
-type t = {
-  pairs : (Graph.node * Graph.node) array;  (** commodity k -> (origin, tail) *)
-  frac : float array array;  (** [frac.(k).(e)] in [0,1] *)
-}
+    Storage is abstract: each row is held either {e dense} (a
+    [float array] over all [m] links) or {e sparse} (an
+    {!R3_util.Rowvec.t} over its support). Protection and detour rows have
+    support the size of a short path, so sparse rows turn the online
+    reconfiguration kernels ({!fold_failure}, {!add_loads}) from O(m) into
+    O(nnz) per row. The two representations are {b bit-identical}: sparse
+    rows use an exact-zero drop tolerance, every kernel iterates in
+    increasing link order, and {!set} normalizes [-0.0] to [+0.0], so any
+    sequence of builder calls and failure folds yields the same float
+    bits under every backend (property-tested in [test/test_substrate.ml]).
 
-(** All-zero routing for the given commodities. *)
-val create : Graph.t -> pairs:(Graph.node * Graph.node) array -> t
+    Rows are copy-on-write: {!copy} and {!fold_failure} share untouched
+    row payloads between states, and {!set} un-shares a row before
+    mutating it, so holding many stepped states costs O(changed rows). *)
+
+module Backend : sig
+  type t =
+    | Dense  (** every row a [float array] of length [m] *)
+    | Sparse  (** every row an [R3_util.Rowvec.t] *)
+    | Auto
+        (** per-row: sparse while the row's support stays under
+            {!auto_nnz_ratio} of [m], dense otherwise *)
+
+  val to_string : t -> string
+  val of_string : string -> t option
+end
+
+(** Rows under [Auto] switch to dense storage when
+    [nnz > auto_nnz_ratio *. m]. *)
+val auto_nnz_ratio : float
+
+type t
+
+(** All-zero routing for the given commodities (default backend
+    [Backend.Dense]). *)
+val create :
+  ?backend:Backend.t -> Graph.t -> pairs:(Graph.node * Graph.node) array -> t
+
+val backend : t -> Backend.t
 
 val num_commodities : t -> int
 
-(** Deep copy. *)
+(** Number of links [m] the routing was built over. *)
+val num_links : t -> int
+
+(** The commodity array. Treat as read-only. *)
+val pairs : t -> (Graph.node * Graph.node) array
+
+(** [pair t k] is commodity [k]'s (origin, destination). *)
+val pair : t -> int -> Graph.node * Graph.node
+
+(** O(rows) copy-on-write copy: row payloads are shared until either side
+    mutates them through {!set} or {!set_row_dense}. *)
 val copy : t -> t
+
+(** {2 Row access}
+
+    All iteration visits stored nonzeros in increasing link order; dense
+    rows skip exact zeros. *)
+
+(** [get t k e] is the fraction of commodity [k] on link [e]. O(1) dense,
+    O(log nnz) sparse. *)
+val get : t -> int -> Graph.link -> float
+
+(** [set t k e x] writes one entry ([-0.0] is normalized to [+0.0];
+    exact zeros are structural in sparse rows). Un-shares the row first. *)
+val set : t -> int -> Graph.link -> float -> unit
+
+(** Apply [f e x] to commodity [k]'s nonzero entries, ascending [e]. *)
+val iter_row : t -> int -> (Graph.link -> float -> unit) -> unit
+
+val fold_row : t -> int -> init:'a -> f:('a -> Graph.link -> float -> 'a) -> 'a
+
+(** Stored nonzeros of row [k] (dense rows are scanned). *)
+val row_nnz : t -> int -> int
+
+(** Fresh dense copy of row [k]. *)
+val row_dense : t -> int -> float array
+
+(** Fresh sparse copy of row [k] (exact-zero drop tolerance). *)
+val row_vec : t -> int -> R3_util.Rowvec.t
+
+(** [set_row_dense t k row] replaces row [k] with the given dense values
+    (converted to the row's backend representation; [row] not retained). *)
+val set_row_dense : t -> int -> float array -> unit
+
+(** [to_dense_matrix t] is every row as a fresh dense array — the
+    representation-independent image used by equality checks and tests. *)
+val to_dense_matrix : t -> float array array
+
+(** {2 Storage statistics} *)
+
+(** Rows currently held sparse / dense. *)
+val sparse_rows : t -> int
+
+val dense_rows : t -> int
+
+(** Total stored nonzeros across all rows. *)
+val nnz : t -> int
+
+(** {2 Failure folding (the R3 online kernels)} *)
+
+(** [rescale_detour t e] is the detour [xi_e] of equation (8) computed
+    from row [e] of the protection routing [t]: entry [e] removed, the
+    rest scaled by [1 / (1 - p_e(e))]; all-zero when [p_e(e) >= 1 - tol]
+    (default [tol = 1e-9]). *)
+val rescale_detour : ?tol:float -> t -> Graph.link -> R3_util.Rowvec.t
+
+(** [fold_failure t ~e ~xi ~replace_with_detour] applies equations
+    (9)/(10): every row [k] with [on_e = get t k e > 0.0] becomes
+    [row + on_e * xi] with entry [e] zeroed; rows with [on_e = +0.0] (or
+    structurally absent) are {b shared} with [t] unchanged; negative or
+    [-0.0] solver noise only zeroes entry [e]. When [replace_with_detour]
+    is true (the protection routing), row [e] itself becomes [xi].
+    Returns the new routing plus [(shared, copied)] row counts. [t] is
+    not mutated. *)
+val fold_failure :
+  t ->
+  e:Graph.link ->
+  xi:R3_util.Rowvec.t ->
+  replace_with_detour:bool ->
+  t * (int * int)
+
+(** {2 Aggregate consumers} *)
 
 (** [validate g ?tol ?failed ?partial t] checks [R1]–[R4] for every
     commodity and additionally that no flow crosses a failed link. When
@@ -32,11 +144,12 @@ val validate :
   t ->
   (unit, string) result
 
-(** [loads g ~demands t] sums [demands.(k) *. frac.(k).(e)] per link.
-    [demands] must be parallel to [t.pairs]. *)
+(** [loads g ~demands t] sums [demands.(k) *. get t k e] per link.
+    [demands] must be parallel to the commodity array. *)
 val loads : Graph.t -> demands:float array -> t -> float array
 
-(** Add [loads] of this routing into an accumulator array. *)
+(** Add [loads] of this routing into an accumulator array. Sparse rows
+    contribute O(nnz) work. *)
 val add_loads : Graph.t -> demands:float array -> t -> into:float array -> unit
 
 (** Maximum link utilization given per-link loads. *)
@@ -46,7 +159,7 @@ val mlu : Graph.t -> loads:float array -> float
 val bottleneck : Graph.t -> loads:float array -> Graph.link
 
 (** Expected end-to-end propagation delay of commodity [k] under the
-    routing: [sum_e frac.(k).(e) * delay e]. *)
+    routing: [sum_e get t k e * delay e]. *)
 val mean_delay : Graph.t -> t -> int -> float
 
 (** Per-commodity delivered fraction at the destination: 1 for a valid

@@ -58,10 +58,12 @@ let routing_at g pairs demands scheme events time =
     let routing_basis = G.fail_bidir g converged in
     let r = R3_net.Ospf.routing g ~failed:routing_basis ~weights ~pairs () in
     (* zero out flow on freshly failed, not-yet-converged links *)
-    Array.iter
-      (fun row ->
-        Array.iteri (fun e f -> if failed_now.(e) && f > 0.0 then row.(e) <- 0.0) row)
-      r.Routing.frac;
+    for e = 0 to G.num_links g - 1 do
+      if failed_now.(e) then
+        for k = 0 to Routing.num_commodities r - 1 do
+          if Routing.get r k e > 0.0 then Routing.set r k e 0.0
+        done
+    done;
     (r, failed_now)
 
 let run ?(config = default_config) g ~pairs ~demands ~scheme ~events () =
@@ -90,23 +92,22 @@ let run ?(config = default_config) g ~pairs ~demands ~scheme ~events () =
     let drop = Array.init m (fun e -> Float.max 0.0 (1.0 -. (1.0 /. Float.max 1.0 utilization.(e)))) in
     let delivered =
       Array.init nk (fun k ->
-          let row = routing.Routing.frac.(k) in
           let routed = Routing.delivered g routing k in
-          let lost = ref 0.0 in
-          for e = 0 to m - 1 do
-            if row.(e) > 0.0 then lost := !lost +. (row.(e) *. drop.(e))
-          done;
-          offered.(k) *. Float.max 0.0 (Float.min routed (routed -. !lost)))
+          let lost =
+            Routing.fold_row routing k ~init:0.0 ~f:(fun acc e x ->
+                if x > 0.0 then acc +. (x *. drop.(e)) else acc)
+          in
+          offered.(k) *. Float.max 0.0 (Float.min routed (routed -. lost)))
     in
     let rtt_ms =
       Array.init nk (fun k ->
-          let row = routing.Routing.frac.(k) in
-          let acc = ref 0.0 in
-          for e = 0 to m - 1 do
-            if row.(e) > 0.0 then
-              acc := !acc +. (row.(e) *. link_delay g e ~util:utilization.(e))
-          done;
-          2.0 *. !acc)
+          let acc =
+            Routing.fold_row routing k ~init:0.0 ~f:(fun acc e x ->
+                if x > 0.0 then
+                  acc +. (x *. link_delay g e ~util:utilization.(e))
+                else acc)
+          in
+          2.0 *. acc)
     in
     steps := { time_s = time; loads; utilization; delivered; offered; rtt_ms } :: !steps
   done;

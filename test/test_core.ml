@@ -88,10 +88,10 @@ let test_paper_example_rescaling () =
   in
   let pairs = [| (0, 1) |] in
   let base = Routing.create g ~pairs in
-  base.Routing.frac.(0).(e1) <- 1.0;
+  Routing.set base (0) (e1) 1.0;
   let protection = Routing.create g ~pairs:(Array.init 8 (fun e -> (G.src g e, G.dst g e))) in
   let assign l values =
-    List.iter2 (fun e v -> protection.Routing.frac.(l).(e) <- v) [ e1; e2; e3; e4 ] values
+    List.iter2 (fun e v -> Routing.set protection (l) (e) v) [ e1; e2; e3; e4 ] values
   in
   assign e1 [ 0.1; 0.2; 0.3; 0.4 ];
   assign e2 [ 0.1; 0.2; 0.3; 0.4 ];
@@ -102,13 +102,13 @@ let test_paper_example_rescaling () =
   check_f "xi(e4)" (4.0 /. 9.0) xi.(e4);
   check_f "xi(e1)" 0.0 xi.(e1);
   let st' = Reconfig.apply_failure st e1 in
-  let p' = st'.Reconfig.protection.Routing.frac.(e2) in
+  let p' = Routing.row_dense st'.Reconfig.protection e2 in
   check_f "p'_e2(e1)" 0.0 p'.(e1);
   check_f "p'_e2(e2)" (0.2 +. (0.1 *. 2.0 /. 9.0)) p'.(e2);
   check_f "p'_e2(e3)" (0.3 +. (0.1 *. 3.0 /. 9.0)) p'.(e3);
   check_f "p'_e2(e4)" (0.4 +. (0.1 *. 4.0 /. 9.0)) p'.(e4);
   (* Base traffic of e1 is detoured the same way. *)
-  let r' = st'.Reconfig.base.Routing.frac.(0) in
+  let r' = Routing.row_dense st'.Reconfig.base 0 in
   check_f "r'(e2)" (2.0 /. 9.0) r'.(e2);
   check_f "r'(e1)" 0.0 r'.(e1);
   (* The updated base routing remains valid. *)
@@ -220,14 +220,14 @@ let canonical_parallel_plan g ~demand ~f =
   let total_cap = List.fold_left (fun a e -> a +. G.capacity g e) 0.0 forward in
   let pairs = [| (0, 1) |] in
   let base = Routing.create g ~pairs in
-  List.iter (fun e -> base.Routing.frac.(0).(e) <- G.capacity g e /. total_cap) forward;
+  List.iter (fun e -> Routing.set base 0 e (G.capacity g e /. total_cap)) forward;
   let link_pairs = Array.init (G.num_links g) (fun e -> (G.src g e, G.dst g e)) in
   let p = Routing.create g ~pairs:link_pairs in
   Array.iteri
     (fun l (a, _) ->
       if a = 0 then
         List.iter
-          (fun e -> p.Routing.frac.(l).(e) <- G.capacity g e /. total_cap)
+          (fun e -> Routing.set p l e (G.capacity g e /. total_cap))
           forward
       else begin
         (* reverse direction: same structure on the reverse links *)
@@ -235,10 +235,10 @@ let canonical_parallel_plan g ~demand ~f =
           List.filter (fun e -> G.src g e = 1) (List.init (G.num_links g) (fun e -> e))
         in
         List.iter
-          (fun e -> p.Routing.frac.(l).(e) <- G.capacity g e /. total_cap)
+          (fun e -> Routing.set p l e (G.capacity g e /. total_cap))
           backward
       end)
-    p.Routing.pairs;
+    (Routing.pairs p);
   {
     Offline.graph = g;
     f;
@@ -303,7 +303,7 @@ let test_theorem2_construction () =
   let demand = 12.0 in
   (* Base: spread demand evenly -> load 4 per link. *)
   let base = Routing.create g ~pairs in
-  List.iter (fun e -> base.Routing.frac.(0).(e) <- 1.0 /. 3.0) [ e1; e2; e3 ];
+  List.iter (fun e -> Routing.set base 0 e (1.0 /. 3.0)) [ e1; e2; e3 ];
   (* p*: on failure of any link, split its traffic evenly on the others;
      loads become 4 + 2 = 6 <= 10: no congestion. Construction (16):
      p_e(e) = 1 - load(e)/c_e = 1 - 0.4 = 0.6,
@@ -312,16 +312,16 @@ let test_theorem2_construction () =
   let p = Routing.create g ~pairs:link_pairs in
   List.iter
     (fun e ->
-      p.Routing.frac.(e).(e) <- 0.6;
+      Routing.set p (e) (e) 0.6;
       List.iter
-        (fun l -> if l <> e then p.Routing.frac.(e).(l) <- 0.2)
+        (fun l -> if l <> e then Routing.set p e l 0.2)
         [ e1; e2; e3 ])
     [ e1; e2; e3 ];
   (* reverse-direction links: idle, protect trivially via themselves *)
   List.iter
     (fun e ->
       let r = Option.get (G.reverse_link g e) in
-      p.Routing.frac.(r).(r) <- 1.0)
+      Routing.set p (r) (r) 1.0)
     [ e1; e2; e3 ];
   (match Routing.validate g p with
   | Ok () -> ()
@@ -491,9 +491,11 @@ let test_parallel_oracle_deterministic () =
   Alcotest.(check int) "same LP rows" seq.Offline.lp_rows par.Offline.lp_rows;
   Alcotest.(check int) "same pivots" seq.Offline.lp_pivots par.Offline.lp_pivots;
   Alcotest.(check bool) "bit-identical protection routing" true
-    (par.Offline.protection.Routing.frac = seq.Offline.protection.Routing.frac);
+    (Routing.to_dense_matrix par.Offline.protection
+    = Routing.to_dense_matrix seq.Offline.protection);
   Alcotest.(check bool) "bit-identical base routing" true
-    (par.Offline.base.Routing.frac = seq.Offline.base.Routing.frac)
+    (Routing.to_dense_matrix par.Offline.base
+    = Routing.to_dense_matrix seq.Offline.base)
 
 let suite =
   [

@@ -5,6 +5,7 @@ let () =
       ("metrics", Test_metrics.suite);
       ("lp", Test_lp.suite);
       ("net", Test_net.suite);
+      ("substrate", Test_substrate.suite);
       ("core", Test_core.suite);
       ("extensions", Test_extensions.suite);
       ("mcf", Test_mcf.suite);

@@ -145,11 +145,11 @@ let test_split_frequencies_match_protection () =
   let e1 = List.hd forward_links in
   let pairs = [| (0, 1) |] in
   let base = Routing.create g ~pairs in
-  base.Routing.frac.(0).(e1) <- 1.0;
+  Routing.set base (0) (e1) 1.0;
   let p = Routing.create g ~pairs:(Array.init 8 (fun e -> (G.src g e, G.dst g e))) in
   List.iteri
     (fun i e ->
-      p.Routing.frac.(e1).(e) <- [| 0.0; 0.2; 0.3; 0.5 |].(i))
+      Routing.set p e1 e [| 0.0; 0.2; 0.3; 0.5 |].(i))
     forward_links;
   let failed = G.fail_links g [ e1 ] in
   let fib = M.Fib.of_protection g p in

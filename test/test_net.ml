@@ -135,8 +135,8 @@ let test_ospf_ecmp_split () =
   in
   let t = Ospf.routing g ~weights:(Ospf.unit_weights g) ~pairs:[| (0, 3) |] () in
   valid_routing g t;
-  Alcotest.(check (float 1e-9)) "upper split" 0.5 t.Routing.frac.(0).(0);
-  Alcotest.(check (float 1e-9)) "lower split" 0.5 t.Routing.frac.(0).(1)
+  Alcotest.(check (float 1e-9)) "upper split" 0.5 (Routing.get t (0) (0));
+  Alcotest.(check (float 1e-9)) "lower split" 0.5 (Routing.get t (0) (1))
 
 let test_routing_loads_mlu () =
   let g = Topology.triangle () in
@@ -272,7 +272,7 @@ let test_decompose_ecmp_split () =
   let frac = Fd.recompose g paths in
   Array.iteri
     (fun e v ->
-      if Float.abs (v -. t.Routing.frac.(0).(e)) > 1e-9 then
+      if Float.abs (v -. (Routing.get t (0) (e))) > 1e-9 then
         Alcotest.failf "recompose mismatch on link %d" e)
     frac
 
@@ -280,11 +280,11 @@ let test_decompose_strips_cycles () =
   let g = Topology.triangle () in
   let t = Routing.create g ~pairs:[| (0, 1) |] in
   let direct = Option.get (G.find_link g 0 1) in
-  t.Routing.frac.(0).(direct) <- 1.0;
+  Routing.set t (0) (direct) 1.0;
   (* add a pure cycle b->c->b on top *)
   let bc = Option.get (G.find_link g 1 2) and cb = Option.get (G.find_link g 2 1) in
-  t.Routing.frac.(0).(bc) <- 0.3;
-  t.Routing.frac.(0).(cb) <- 0.3;
+  Routing.set t (0) (bc) 0.3;
+  Routing.set t (0) (cb) 0.3;
   let paths, circulation = Fd.decompose g t 0 in
   Alcotest.(check bool) "cycle flow removed" true (circulation > 0.29);
   Alcotest.(check int) "single real path" 1 (List.length paths)

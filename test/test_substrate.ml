@@ -1,0 +1,247 @@
+(* Tests for the sparse routing-state substrate: the shared Rowvec
+   kernels and the contract that the Dense, Sparse, and Auto storage
+   backends of Routing.t are bit-identical under failure folding. *)
+
+module Rowvec = R3_util.Rowvec
+module Prng = R3_util.Prng
+module G = R3_net.Graph
+module Routing = R3_net.Routing
+module Topology = R3_net.Topology
+module Traffic = R3_net.Traffic
+module Spf = R3_net.Spf
+module Reconfig = R3_core.Reconfig
+
+let check_f name expected got =
+  Alcotest.(check (float 0.0)) name expected got
+
+(* ---- Rowvec kernels ---- *)
+
+let test_rowvec_basics () =
+  let r = Rowvec.create () in
+  Alcotest.(check int) "empty nnz" 0 (Rowvec.nnz r);
+  check_f "empty get" 0.0 (Rowvec.get r 3);
+  (* out-of-order insertion, then overwrite and delete-by-zero *)
+  Rowvec.set r 5 2.0;
+  Rowvec.set r 1 1.0;
+  Rowvec.set r 9 3.0;
+  Rowvec.set r 5 2.5;
+  Alcotest.(check int) "nnz after sets" 3 (Rowvec.nnz r);
+  check_f "get 5" 2.5 (Rowvec.get r 5);
+  Rowvec.set r 1 0.0;
+  Alcotest.(check int) "exact zero removes" 2 (Rowvec.nnz r);
+  Rowvec.clear r 9;
+  Alcotest.(check int) "clear removes" 1 (Rowvec.nnz r);
+  (* ascending iteration order *)
+  let r = Rowvec.of_pairs [| 4; 0; 4; 2 |] [| 1.0; 2.0; 0.5; 3.0 |] in
+  let order = ref [] in
+  Rowvec.iter (fun j x -> order := (j, x) :: !order) r;
+  Alcotest.(check (list (pair int (float 0.0))))
+    "of_pairs sums duplicates, sorted"
+    [ (0, 2.0); (2, 3.0); (4, 1.5) ]
+    (List.rev !order)
+
+let test_rowvec_dense_round_trip () =
+  (* Exact-zero drop keeps denormals and negatives, drops both zeros. *)
+  let a = [| 0.0; 1e-300; -3.5; -0.0; 2.0; 0.0 |] in
+  let r = Rowvec.of_dense a in
+  Alcotest.(check int) "nnz keeps tiny values" 3 (Rowvec.nnz r);
+  let back = Rowvec.to_dense (Array.length a) r in
+  (* -0.0 normalizes to +0.0 through the sparse representation *)
+  Alcotest.(check bool) "round trip (zeros normalized)" true
+    (back = [| 0.0; 1e-300; -3.5; 0.0; 2.0; 0.0 |]);
+  (* full row: every entry stored *)
+  let full = Array.init 16 (fun i -> float_of_int (i + 1)) in
+  let rf = Rowvec.of_dense full in
+  Alcotest.(check int) "full row nnz" 16 (Rowvec.nnz rf);
+  Alcotest.(check bool) "full round trip" true (Rowvec.to_dense 16 rf = full);
+  (* nonzero drop tolerance is strict: |x| > drop keeps *)
+  let rd = Rowvec.of_dense ~drop:1e-9 [| 1e-9; 2e-9; -1e-9 |] in
+  Alcotest.(check int) "drop strict inequality" 1 (Rowvec.nnz rd)
+
+let test_rowvec_axpy_aliasing () =
+  (* y := y - factor * x with y == x must behave as scaling. *)
+  let y = Rowvec.of_pairs [| 0; 3; 7 |] [| 1.0; 2.0; 4.0 |] in
+  Rowvec.axpy ~y ~x:y 0.5;
+  check_f "aliased axpy 0" 0.5 (Rowvec.get y 0);
+  check_f "aliased axpy 3" 1.0 (Rowvec.get y 3);
+  check_f "aliased axpy 7" 2.0 (Rowvec.get y 7);
+  (* exact cancellation drops entries *)
+  let y = Rowvec.of_pairs [| 1; 2 |] [| 3.0; 5.0 |] in
+  let x = Rowvec.of_pairs [| 1 |] [| 3.0 |] in
+  Rowvec.axpy ~y ~x 1.0;
+  Alcotest.(check int) "cancelled entry dropped" 1 (Rowvec.nnz y);
+  check_f "surviving entry" 5.0 (Rowvec.get y 2)
+
+let test_rowvec_scatter_and_dot () =
+  let r = Rowvec.of_pairs [| 1; 4 |] [| 2.0; -1.0 |] in
+  let into = [| 10.0; 10.0; 10.0; 10.0; 10.0 |] in
+  Rowvec.scatter_add ~scale:2.0 r ~into;
+  Alcotest.(check bool) "scatter_add" true
+    (into = [| 10.0; 14.0; 10.0; 10.0; 8.0 |]);
+  check_f "dot" ((2.0 *. 14.0) +. (-1.0 *. 8.0)) (Rowvec.dot r into)
+
+let test_rowvec_merged_matches_dense () =
+  let rng = Prng.create 42 in
+  let width = 12 in
+  for _ = 1 to 200 do
+    let rand_dense () =
+      Array.init width (fun _ ->
+          if Prng.int rng 3 = 0 then 0.0 else Prng.float rng 1.0)
+    in
+    let yd = rand_dense () and xd = rand_dense () in
+    let skip = Prng.int rng width in
+    let factor = Prng.float rng 2.0 in
+    let y = Rowvec.of_dense yd and x = Rowvec.of_dense xd in
+    let got = Rowvec.to_dense width (Rowvec.merged ~skip ~y ~x factor) in
+    (* reference: dense in-place update, entry [skip] zeroed *)
+    let expect = Array.copy yd in
+    Array.iteri
+      (fun j v -> if v <> 0.0 then expect.(j) <- expect.(j) +. (factor *. v))
+      xd;
+    expect.(skip) <- 0.0;
+    Array.iteri
+      (fun j e ->
+        if Int64.bits_of_float got.(j) <> Int64.bits_of_float (e +. 0.0) then
+          Alcotest.failf "merged bit mismatch at %d: %h vs %h" j got.(j) e)
+      expect
+  done
+
+(* ---- backend bit-identity under failure folding ---- *)
+
+(* Same synthetic protection shape as the reconfig bench: the SPF detour
+   path around each link, or the self row when the failure disconnects. *)
+let synthetic_protection g ~backend =
+  let weights = R3_net.Ospf.unit_weights g in
+  let m = G.num_links g in
+  let p =
+    Routing.create ~backend g
+      ~pairs:(Array.init m (fun e -> (G.src g e, G.dst g e)))
+  in
+  for l = 0 to m - 1 do
+    let failed = G.fail_links g [ l ] in
+    match
+      Spf.shortest_path g ~failed ~weights ~src:(G.src g l) ~dst:(G.dst g l) ()
+    with
+    | Some path -> List.iter (fun e -> Routing.set p l e 1.0) path
+    | None -> Routing.set p l l 1.0
+  done;
+  p
+
+let make_state g ~backend ~seed =
+  let rng = Prng.create seed in
+  let tm = Traffic.gravity rng g ~load_factor:0.3 () in
+  let pairs, demands = Traffic.commodities tm in
+  let weights = R3_net.Ospf.unit_weights g in
+  let base = R3_net.Ospf.routing g ~backend ~weights ~pairs () in
+  let protection = synthetic_protection g ~backend in
+  Reconfig.make g ~pairs ~demands ~base ~protection
+
+let backends = Routing.Backend.[ Dense; Sparse; Auto ]
+
+(* Randomized failure sequences: after every step, all three backends
+   must be bit-identical, and folding the whole sequence with
+   [apply_failures] must equal the step-by-step fold. *)
+let check_backend_identity g ~seed ~rounds ~max_fail =
+  let states = List.map (fun b -> make_state g ~backend:b ~seed) backends in
+  let rng = Prng.create (seed + 1) in
+  let m = G.num_links g in
+  for round = 1 to rounds do
+    let nfail = 1 + Prng.int rng max_fail in
+    let links =
+      List.init nfail (fun _ -> (Prng.int rng m, Prng.int rng 2 = 0))
+    in
+    let fold st =
+      List.fold_left
+        (fun st (e, bidir) ->
+          if bidir then Reconfig.step_bidir st e else Reconfig.step st e)
+        st links
+    in
+    let stepped = List.map fold states in
+    let reference = List.hd stepped in
+    List.iteri
+      (fun i st ->
+        if not (Reconfig.states_bit_identical reference st) then
+          Alcotest.failf "round %d: backend #%d diverged from dense" round i)
+      stepped;
+    (* fold equivalence on the plain (unidirectional) sequence *)
+    let plain = List.map fst links in
+    let folded = List.map (fun st -> Reconfig.apply_failures st plain) states in
+    let ref_folded =
+      List.fold_left Reconfig.apply_failure (List.hd states) plain
+    in
+    List.iteri
+      (fun i st ->
+        if not (Reconfig.states_bit_identical ref_folded st) then
+          Alcotest.failf "round %d: apply_failures backend #%d diverged" round i)
+      folded
+  done
+
+let test_backend_identity_abilene () =
+  check_backend_identity (Topology.abilene ()) ~seed:3 ~rounds:12 ~max_fail:3
+
+let test_backend_identity_random () =
+  let g =
+    Topology.random ~seed:17 ~nodes:16 ~undirected_links:30
+      ~capacities:[ (10.0, 0.5); (40.0, 0.5) ]
+      ()
+  in
+  check_backend_identity g ~seed:5 ~rounds:8 ~max_fail:4
+
+(* Mutating a routing after a copy-on-write fold must not leak into the
+   parent or sibling states (payload sharing stays invisible). *)
+let test_cow_isolation () =
+  let g = Topology.abilene () in
+  let st = make_state g ~backend:Routing.Backend.Sparse ~seed:9 in
+  let st_d = make_state g ~backend:Routing.Backend.Dense ~seed:9 in
+  let before = Routing.to_dense_matrix st.Reconfig.base in
+  let child = Reconfig.step_bidir st 0 in
+  let child_d = Reconfig.step_bidir st_d 0 in
+  Alcotest.(check bool) "dense/sparse children agree" true
+    (Reconfig.states_bit_identical child_d child);
+  (* parent unchanged by the fold *)
+  Alcotest.(check bool) "parent base intact" true
+    (Routing.to_dense_matrix st.Reconfig.base = before);
+  (* writing into the child must not corrupt the parent... *)
+  Routing.set child.Reconfig.base 0 1 0.123;
+  Alcotest.(check bool) "parent isolated from child writes" true
+    (Routing.to_dense_matrix st.Reconfig.base = before);
+  (* ...and writing into the parent must not corrupt another child *)
+  let child2 = Reconfig.step_bidir st 0 in
+  Routing.set st.Reconfig.base 0 2 0.456;
+  Alcotest.(check bool) "children isolated from parent writes" true
+    (Reconfig.states_bit_identical child_d child2)
+
+(* Auto backend flips a row to dense storage once it outgrows the nnz
+   ratio; values must be unaffected. *)
+let test_auto_densifies () =
+  let g = Topology.abilene () in
+  let m = G.num_links g in
+  let pairs = [| (0, 5) |] in
+  let auto = Routing.create ~backend:Routing.Backend.Auto g ~pairs in
+  let dense = Routing.create ~backend:Routing.Backend.Dense g ~pairs in
+  for e = 0 to m - 1 do
+    let x = 1.0 /. float_of_int (e + 2) in
+    Routing.set auto 0 e x;
+    Routing.set dense 0 e x
+  done;
+  Alcotest.(check int) "auto row flipped to dense" 1 (Routing.dense_rows auto);
+  Alcotest.(check bool) "auto values match dense" true
+    (Routing.row_dense auto 0 = Routing.row_dense dense 0)
+
+let suite =
+  [
+    Alcotest.test_case "rowvec basics" `Quick test_rowvec_basics;
+    Alcotest.test_case "rowvec dense round trip" `Quick
+      test_rowvec_dense_round_trip;
+    Alcotest.test_case "rowvec axpy aliasing" `Quick test_rowvec_axpy_aliasing;
+    Alcotest.test_case "rowvec scatter and dot" `Quick
+      test_rowvec_scatter_and_dot;
+    Alcotest.test_case "rowvec merged matches dense" `Quick
+      test_rowvec_merged_matches_dense;
+    Alcotest.test_case "backend bit-identity abilene" `Quick
+      test_backend_identity_abilene;
+    Alcotest.test_case "backend bit-identity random" `Quick
+      test_backend_identity_random;
+    Alcotest.test_case "cow isolation" `Quick test_cow_isolation;
+    Alcotest.test_case "auto densifies" `Quick test_auto_densifies;
+  ]
