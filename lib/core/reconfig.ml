@@ -17,27 +17,31 @@ module Obs = struct
   let cow_shared_ratio = M.gauge "r3.reconfig.cow_shared_ratio"
 end
 
+(* Pre-building the fold indexes here means parallel workers stepping
+   the same root state ([Sim.Sweep]) find them ready instead of each
+   constructing one on their first step. *)
 let of_plan (plan : Offline.plan) =
+  let base = Routing.copy plan.Offline.base in
+  let protection = Routing.copy plan.Offline.protection in
+  Routing.prepare base;
+  Routing.prepare protection;
   {
     graph = plan.Offline.graph;
     pairs = plan.Offline.pairs;
     demands = plan.Offline.demands;
-    base = Routing.copy plan.Offline.base;
-    protection = Routing.copy plan.Offline.protection;
+    base;
+    protection;
     failed = G.no_failures plan.Offline.graph;
   }
 
 let make graph ~pairs ~demands ~base ~protection =
   if Routing.num_commodities protection <> G.num_links graph then
     invalid_arg "Reconfig.make: protection must have one commodity per link";
-  {
-    graph;
-    pairs;
-    demands;
-    base = Routing.copy base;
-    protection = Routing.copy protection;
-    failed = G.no_failures graph;
-  }
+  let base = Routing.copy base in
+  let protection = Routing.copy protection in
+  Routing.prepare base;
+  Routing.prepare protection;
+  { graph; pairs; demands; base; protection; failed = G.no_failures graph }
 
 let one_tol = 1e-9
 

@@ -28,24 +28,42 @@ end
 
 type payload = D of float array | S of Rowvec.t
 
-(* Row payloads are shared between routings (copy-on-write): flag byte
-   '\001' in [shr] means "may be referenced by another routing — copy
-   before mutating". The flag is sticky on the parent: cheap, and only
-   costs a spurious copy if the parent is mutated later.
+(* Row payloads are shared between routings (copy-on-write). Sharing is
+   tracked by generations: row [k] is exclusively owned iff
+   [own_gen.(k) >= Atomic.get share_gen]. Handing payloads out
+   ([fold_failure], [copy]) "seals" the giver with one [Atomic.incr] of
+   [share_gen] — every row whose [own_gen] predates the bump reads as
+   shared, and a later in-place mutation copies it first ([own]),
+   recording the current generation. The seal is the ONLY write
+   [fold_failure] performs on its input, and it is atomic, so any number
+   of domains may fold the same parent concurrently (the contract
+   [Sim.Sweep] relies on when workers step a shared root state); the
+   sticky seal merely costs a spurious copy if the giver is mutated
+   later.
 
-   [cols] is the lazily-built column support index: for link [e] it
-   enumerates the rows whose support MAY include [e] (a superset is fine —
-   every candidate's coefficient is re-read, and stale entries simply
-   re-read a zero). It turns the failure fold from a scan of all rows into
-   a visit of just the rows the failed link touches. Folded children
+   [cols] is the column support index: for link [e] it enumerates the
+   rows whose support MAY include [e] (a superset is fine — every
+   candidate's coefficient is re-read, and stale entries simply re-read
+   a zero). It turns the failure fold from a scan of all rows into a
+   visit of just the rows the failed link touches. It is built from the
+   rows (lazily, or eagerly via [prepare]) and published through an
+   [Atomic.t] only once fully constructed, so concurrent folders either
+   see [None] (and build an identical index from the same frozen rows)
+   or a complete index — never a partially built one. Folded children
    inherit the parent's base array untouched and push one overlay
    [(xi, touched)] meaning "these rows may now have support anywhere in
-   xi's support" — no per-fold array copy, no per-entry conses. Any
-   direct row mutation invalidates the whole index. *)
+   xi's support" — no per-fold array copy, no per-entry conses. Overlay
+   chains are capped at [max_overlays]: past that a child drops the
+   inherited index and rebuilds from its own rows on its next fold, so
+   long failure sequences keep O(1) overlays per candidate lookup and do
+   not retain every ancestor's detour vector. Any direct row mutation
+   invalidates the whole index. *)
 type colidx = {
   cbase : int list array;
   overlays : (Rowvec.t * int list) list;
 }
+
+let max_overlays = 8
 
 (* Rows live in chunks of 128 payload pointers, not one flat array: a
    folded child needs its own row table, and a flat [nk]-entry pointer
@@ -64,8 +82,9 @@ type t = {
   m : int;
   bk : Backend.t;
   rows : payload array array;
-  shr : Bytes.t;
-  mutable cols : colidx option;
+  own_gen : int array;  (* row [k] owned iff own_gen.(k) >= share_gen *)
+  share_gen : int Atomic.t;
+  cols : colidx option Atomic.t;
 }
 
 let rget rows k =
@@ -112,8 +131,9 @@ let create ?(backend = Backend.Dense) g ~pairs =
     m;
     bk = backend;
     rows = rows_init nk mk;
-    shr = Bytes.make nk '\000';
-    cols = None;
+    own_gen = Array.make nk 0;
+    share_gen = Atomic.make 0;
+    cols = Atomic.make None;
   }
 
 let backend t = t.bk
@@ -128,12 +148,15 @@ let pair t k = t.prs.(k)
 
 let copy t =
   let nk = num_commodities t in
-  Bytes.fill t.shr 0 nk '\001';
+  Atomic.incr t.share_gen;
   {
     t with
     prs = Array.copy t.prs;
     rows = rows_copy t.rows;
-    shr = Bytes.make nk '\001';
+    own_gen = Array.make nk 0;
+    share_gen = Atomic.make 1;
+    (* Same rows, same supports: the built index stays valid. *)
+    cols = Atomic.make (Atomic.get t.cols);
   }
 
 let payload_get data e =
@@ -141,13 +164,15 @@ let payload_get data e =
 
 let get t k e = payload_get (rget t.rows k) e
 
-(* Un-share a row before mutating it in place. *)
+(* Un-share a row before mutating it in place. Mutators require exclusive
+   access to [t], so the plain [own_gen] read/write cannot race. *)
 let own t k =
-  if Bytes.get t.shr k <> '\000' then begin
+  let gen = Atomic.get t.share_gen in
+  if t.own_gen.(k) < gen then begin
     let data = copy_payload (rget t.rows k) in
     count_payload data;
     rset t.rows k data;
-    Bytes.set t.shr k '\000'
+    t.own_gen.(k) <- gen
   end
 
 (* Under [Auto], a sparse row that outgrew the ratio flips to dense. *)
@@ -170,7 +195,7 @@ let set t k e x =
   | S r ->
     Rowvec.set r e x;
     rset t.rows k (maybe_densify t (S r)));
-  t.cols <- None
+  Atomic.set t.cols None
 
 let iter_row t k f =
   match rget t.rows k with
@@ -216,8 +241,8 @@ let set_row_dense t k row =
   in
   count_payload data;
   rset t.rows k data;
-  Bytes.set t.shr k '\000';
-  t.cols <- None
+  t.own_gen.(k) <- Atomic.get t.share_gen;
+  Atomic.set t.cols None
 
 let to_dense_matrix t = Array.init (num_commodities t) (row_dense t)
 
@@ -245,7 +270,7 @@ let nnz t =
 (* ---- column support index ---- *)
 
 let ensure_cols t =
-  match t.cols with
+  match Atomic.get t.cols with
   | Some c -> c
   | None ->
     let c = Array.make t.m [] in
@@ -258,8 +283,16 @@ let ensure_cols t =
       | S r -> Rowvec.iter (fun e _ -> c.(e) <- k :: c.(e)) r
     done;
     let ci = { cbase = c; overlays = [] } in
-    t.cols <- Some ci;
+    (* Published only once fully built: a reader that observes [Some ci]
+       observes its contents. Concurrent builders construct identical
+       indexes from the same frozen rows; last publication wins. *)
+    Atomic.set t.cols (Some ci);
     ci
+
+let prepare t =
+  match t.bk with
+  | Backend.Dense -> ()
+  | Backend.Sparse | Backend.Auto -> ignore (ensure_cols t : colidx)
 
 (* Visit every row that may have support at [e]: the base column plus any
    overlay whose detour support contains [e]. Duplicates are possible and
@@ -321,12 +354,15 @@ let fold_payload ~e ~xi data on_e =
 
 let fold_failure t ~e ~xi ~replace_with_detour =
   let nk = num_commodities t in
-  (* Child starts as a full payload share; only candidate rows (support
-     possibly containing [e]) are re-read, everything else is untouched
-     by construction. The parent is bulk-marked shared. *)
+  (* Seal the parent: one atomic generation bump marks every parent row
+     "possibly shared". This is the only write to [t] on the fold path,
+     so concurrent folds from the same parent are race-free. The child
+     starts as a full payload share ([own_gen] all behind its
+     generation); only candidate rows (support possibly containing [e])
+     are re-read, everything else is untouched by construction. *)
+  Atomic.incr t.share_gen;
   let rows = rows_copy t.rows in
-  let shr = Bytes.make nk '\001' in
-  Bytes.fill t.shr 0 nk '\001';
+  let own_gen = Array.make nk 0 in
   let touched = ref [] and copied = ref 0 in
   (* Counter deltas are batched and published once per fold: a per-row
      atomic increment costs as much as the row copy it is counting. *)
@@ -335,7 +371,7 @@ let fold_failure t ~e ~xi ~replace_with_detour =
     let data = maybe_densify t data in
     (match data with D _ -> incr new_dense | S _ -> incr new_sparse);
     rset rows k data;
-    Bytes.unsafe_set shr k '\000';
+    own_gen.(k) <- 1;
     incr copied;
     touched := k :: !touched
   in
@@ -386,17 +422,24 @@ let fold_failure t ~e ~xi ~replace_with_detour =
       | Backend.Sparse | Backend.Auto -> S (Rowvec.copy xi));
   (* Inherit the support index: touched rows' supports grew by at most
      xi's support, recorded as one overlay. Stale entries (column [e],
-     rows that shrank) are harmless supersets. *)
+     rows that shrank) are harmless supersets. A chain of folds would
+     accumulate one overlay per ancestor, degrading candidate lookup
+     back toward a full scan and retaining every ancestor's xi — so past
+     [max_overlays] the child drops the index and lazily rebuilds it
+     from its own rows on its next fold (O(nnz), amortized over the
+     chain). *)
   let cols' =
     match (cols', !touched) with
     | None, _ -> None
     | Some ci, [] -> Some ci
     | Some ci, tch ->
-      Some { ci with overlays = (Rowvec.copy xi, tch) :: ci.overlays }
+      if List.length ci.overlays >= max_overlays then None
+      else Some { ci with overlays = (Rowvec.copy xi, tch) :: ci.overlays }
   in
   if !new_dense > 0 then R3_util.Metrics.add Obs.dense_rows !new_dense;
   if !new_sparse > 0 then R3_util.Metrics.add Obs.sparse_rows !new_sparse;
-  ({ t with rows; shr; cols = cols' }, (nk - !copied, !copied))
+  ( { t with rows; own_gen; share_gen = Atomic.make 1; cols = Atomic.make cols' },
+    (nk - !copied, !copied) )
 
 (* ---- aggregate consumers ---- *)
 

@@ -18,7 +18,13 @@
 
     Rows are copy-on-write: {!copy} and {!fold_failure} share untouched
     row payloads between states, and {!set} un-shares a row before
-    mutating it, so holding many stepped states costs O(changed rows). *)
+    mutating it, so holding many stepped states costs O(changed rows).
+
+    Concurrency: {!fold_failure} (and the read-only consumers) may be
+    called on the same routing from any number of domains at once — all
+    sharing metadata it updates is atomic, and the column support index
+    is published atomically only once fully built. Mutators ({!set},
+    {!set_row_dense}) still require exclusive access to the routing. *)
 
 module Backend : sig
   type t =
@@ -107,6 +113,13 @@ val nnz : t -> int
 
 (** {2 Failure folding (the R3 online kernels)} *)
 
+(** Pre-build the column support index {!fold_failure} uses to find
+    candidate rows (no-op for the [Dense] backend, or when already
+    built). [Reconfig.make] calls this so parallel workers stepping a
+    shared root state find the index ready instead of each building it
+    on their first fold. *)
+val prepare : t -> unit
+
 (** [rescale_detour t e] is the detour [xi_e] of equation (8) computed
     from row [e] of the protection routing [t]: entry [e] removed, the
     rest scaled by [1 / (1 - p_e(e))]; all-zero when [p_e(e) >= 1 - tol]
@@ -119,8 +132,11 @@ val rescale_detour : ?tol:float -> t -> Graph.link -> R3_util.Rowvec.t
     structurally absent) are {b shared} with [t] unchanged; negative or
     [-0.0] solver noise only zeroes entry [e]. When [replace_with_detour]
     is true (the protection routing), row [e] itself becomes [xi].
-    Returns the new routing plus [(shared, copied)] row counts. [t] is
-    not mutated. *)
+    Returns the new routing plus [(shared, copied)] row counts. [t]'s
+    rows are not touched (the only update to [t] is an atomic
+    sharing-generation bump protecting the now-shared payloads), so
+    concurrent folds from the same [t] are safe and any number of
+    children may be derived from one state. *)
 val fold_failure :
   t ->
   e:Graph.link ->

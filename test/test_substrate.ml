@@ -211,6 +211,58 @@ let test_cow_isolation () =
   Alcotest.(check bool) "children isolated from parent writes" true
     (Reconfig.states_bit_identical child_d child2)
 
+(* Stepping the same root state from several domains at once (the sweep
+   engine's access pattern) must be race-free: the fold seals the parent
+   with an atomic generation bump and the column support index is
+   published atomically once fully built, so every worker computes the
+   same states a sequential run does. *)
+let test_parallel_fold_from_shared_root () =
+  let g = Topology.abilene () in
+  let m = G.num_links g in
+  let mk () = make_state g ~backend:Routing.Backend.Sparse ~seed:21 in
+  let rng = Prng.create 22 in
+  let seqs =
+    Array.init 24 (fun _ -> List.init 3 (fun _ -> Prng.int rng m))
+  in
+  let fold_all st = Array.map (List.fold_left Reconfig.step_bidir st) seqs in
+  let expected = fold_all (mk ()) in
+  (* A fresh root, shared by all workers. *)
+  let root = mk () in
+  let got =
+    R3_util.Parallel.map ~domains:4
+      (fun links -> List.fold_left Reconfig.step_bidir root links)
+      seqs
+  in
+  Array.iteri
+    (fun i want ->
+      if not (Reconfig.states_bit_identical want got.(i)) then
+        Alcotest.failf "parallel fold %d diverged from sequential" i)
+    expected
+
+(* A failure chain longer than the overlay cap exercises index
+   compaction (the child drops the inherited index and rebuilds from its
+   own rows); results must stay bit-identical to the dense full scan. *)
+let test_long_chain_identity () =
+  let g =
+    Topology.random ~seed:23 ~nodes:16 ~undirected_links:30
+      ~capacities:[ (10.0, 1.0) ]
+      ()
+  in
+  let m = G.num_links g in
+  let rng = Prng.create 24 in
+  let links = List.init 24 (fun _ -> Prng.int rng m) in
+  let final =
+    List.map
+      (fun b -> List.fold_left Reconfig.step (make_state g ~backend:b ~seed:11) links)
+      backends
+  in
+  let reference = List.hd final in
+  List.iteri
+    (fun i st ->
+      if not (Reconfig.states_bit_identical reference st) then
+        Alcotest.failf "long chain: backend #%d diverged from dense" (i + 1))
+    (List.tl final)
+
 (* Auto backend flips a row to dense storage once it outgrows the nnz
    ratio; values must be unaffected. *)
 let test_auto_densifies () =
@@ -243,5 +295,8 @@ let suite =
     Alcotest.test_case "backend bit-identity random" `Quick
       test_backend_identity_random;
     Alcotest.test_case "cow isolation" `Quick test_cow_isolation;
+    Alcotest.test_case "parallel fold from shared root" `Quick
+      test_parallel_fold_from_shared_root;
+    Alcotest.test_case "long chain identity" `Quick test_long_chain_identity;
     Alcotest.test_case "auto densifies" `Quick test_auto_densifies;
   ]
