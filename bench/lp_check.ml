@@ -1,0 +1,44 @@
+(* LP engine cross-check behind `dune build @lp-check` (part of
+   `dune runtest`): one small constraint-generation instance, solved by
+   the sparse-tableau and the LU-factorized revised engines. The optima
+   must agree to 1e-9 relative — the bit-level contract the revised
+   backend is held to everywhere it replaces the tableau. *)
+
+module Topology = R3_net.Topology
+module Traffic = R3_net.Traffic
+module Ospf = R3_net.Ospf
+module Offline = R3_core.Offline
+
+let () =
+  let g = Topology.abilene () in
+  let rng = R3_util.Prng.create 7 in
+  let tm = Traffic.gravity rng g ~load_factor:0.3 () in
+  let pairs, _ = Traffic.commodities tm in
+  let base = Ospf.routing g ~weights:(Ospf.unit_weights g) ~pairs () in
+  let run backend =
+    let cfg =
+      {
+        (Offline.default_config ~f:1) with
+        Offline.solve_method = Offline.Constraint_gen;
+        lp_backend = backend;
+      }
+    in
+    match Offline.compute cfg g tm (Offline.Fixed base) with
+    | Ok plan -> plan
+    | Error e ->
+      Printf.eprintf "lp_check: %s backend failed: %s\n"
+        (R3_lp.Problem.backend_name backend)
+        e;
+      exit 1
+  in
+  let tab = run `Sparse and rev = run `Revised in
+  let diff = Float.abs (tab.Offline.mlu -. rev.Offline.mlu) in
+  if diff > 1e-9 *. (1.0 +. Float.abs tab.Offline.mlu) then begin
+    Printf.eprintf
+      "lp_check: engines disagree: tableau MLU %.15g, revised MLU %.15g\n"
+      tab.Offline.mlu rev.Offline.mlu;
+    exit 1
+  end;
+  Printf.printf
+    "lp_check: tableau %d pivots, revised %d pivots, dMLU %.2g: ok\n"
+    tab.Offline.lp_pivots rev.Offline.lp_pivots diff

@@ -95,7 +95,8 @@ let bidir_groups g =
   |> List.map (fun e ->
          match G.reverse_link g e with Some r -> [ e; r ] | None -> [ e ])
 
-let precompute tag f bidir joint method_ routing_backend seed load out metrics =
+let precompute tag f bidir joint method_ routing_backend lp_backend seed load out
+    metrics =
   let g = load_topology tag in
   let tm = make_tm g ~seed ~load in
   let pairs, _ = Traffic.commodities tm in
@@ -115,7 +116,17 @@ let precompute tag f bidir joint method_ routing_backend seed load out metrics =
         routing_backend;
       exit 2
   in
-  let cfg = { (Offline.default_config ~f) with solve_method; routing_backend } in
+  let lp_backend =
+    match R3_lp.Problem.backend_of_string lp_backend with
+    | Some b -> b
+    | None ->
+      Printf.eprintf "unknown LP backend %S (use tableau, revised or dense)\n"
+        lp_backend;
+      exit 2
+  in
+  let cfg =
+    { (Offline.default_config ~f) with solve_method; routing_backend; lp_backend }
+  in
   let base_spec =
     if joint then Offline.Joint
     else
@@ -170,6 +181,16 @@ let precompute_cmd =
       & info [ "routing-backend" ] ~docv:"dense|sparse|auto"
           ~doc:"Row storage for the extracted protection routing.")
   in
+  let lp_backend_arg =
+    Arg.(
+      value
+      & opt string "revised"
+      & info [ "lp-backend" ] ~docv:"tableau|revised|dense"
+          ~doc:
+            "Simplex engine for the offline LP: $(b,revised) (LU-factorized \
+             revised simplex), $(b,tableau) (sparse-row tableau) or \
+             $(b,dense) (reference).")
+  in
   let out_arg =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Save plan.")
   in
@@ -177,7 +198,8 @@ let precompute_cmd =
     (Cmd.info "precompute" ~doc:"Run the R3 offline phase")
     Term.(
       const precompute $ topology_arg $ f_arg $ bidir_arg $ joint_arg $ method_arg
-      $ routing_backend_arg $ seed_arg $ load_arg $ out_arg $ metrics_arg)
+      $ routing_backend_arg $ lp_backend_arg $ seed_arg $ load_arg $ out_arg
+      $ metrics_arg)
 
 (* ---- evaluate ---- *)
 

@@ -41,7 +41,7 @@ let default_config ~f =
     max_pivots = None;
     cg_max_rounds = 60;
     cg_warm_start = true;
-    lp_backend = `Sparse;
+    lp_backend = `Revised;
     routing_backend = Routing.Backend.Sparse;
   }
 
@@ -308,7 +308,11 @@ let compute_cg (cfg : config) g tms base_spec =
   done;
   (* Warm start: translate the LP once and repair the basis after each
      batch of cuts; cold mode re-solves from scratch every round. *)
-  let sess = if cfg.cg_warm_start then Some (P.session ?max_pivots:cfg.max_pivots lp) else None in
+  let sess =
+    if cfg.cg_warm_start then
+      Some (P.session ~backend:cfg.lp_backend ?max_pivots:cfg.max_pivots lp)
+    else None
+  in
   let cold_pivots = ref 0 in
   let solve_round () =
     Obs.T.with_span "offline.lp_solve" @@ fun () ->

@@ -40,7 +40,9 @@ type config = {
           (dual-simplex basis repair) instead of a cold two-phase solve.
           Default [true]; [false] is the benchmark baseline. *)
   lp_backend : R3_lp.Problem.backend;
-      (** simplex tableau representation for cold solves (default [`Sparse]) *)
+      (** simplex engine for cold solves and warm sessions (default
+          [`Revised]: LU-factorized revised simplex; [`Sparse] is the
+          tableau fallback) *)
   routing_backend : R3_net.Routing.Backend.t;
       (** row storage for the extracted {e protection} routing (default
           [Sparse]: each row is one detour path wide, and the online

@@ -120,7 +120,9 @@ let compute (cfg : Offline.config) g ?srlgs ~classes base_spec =
   (* Warm-started rounds, as in [Offline.compute_cg]. *)
   let sess =
     if cfg.Offline.cg_warm_start then
-      Some (P.session ?max_pivots:cfg.Offline.max_pivots lp)
+      Some
+        (P.session ~backend:cfg.Offline.lp_backend
+           ?max_pivots:cfg.Offline.max_pivots lp)
     else None
   in
   let cold_pivots = ref 0 in

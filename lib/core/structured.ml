@@ -237,7 +237,9 @@ let compute (cfg : Offline.config) g tm groups base_spec =
      basis across rounds and repair it after each batch of cuts. *)
   let sess =
     if cfg.Offline.cg_warm_start then
-      Some (P.session ?max_pivots:cfg.Offline.max_pivots lp)
+      Some
+        (P.session ~backend:cfg.Offline.lp_backend
+           ?max_pivots:cfg.Offline.max_pivots lp)
     else None
   in
   let cold_pivots = ref 0 in

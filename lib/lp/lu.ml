@@ -1,0 +1,741 @@
+(* Sparse LU basis factorization for the revised simplex.
+
+   [refactor] runs a left-looking (Gilbert-Peierls style) column LU over
+   the basis columns with threshold partial pivoting: columns are
+   processed in ascending-nonzero order and, within a column, the pivot
+   row is the sparsest one (static row count, an approximate Markowitz
+   rule) among rows within [Tol.lu_threshold] of the largest eligible
+   magnitude. Between refactorizations the basis evolves by product-form
+   eta updates: each simplex pivot appends one sparse eta column, and
+   FTRAN/BTRAN apply the eta file after/before the triangular solves.
+
+   Solves are hypersparse: the caller hands in the nonzero pattern of
+   the right-hand side, the triangular sweeps visit only the elimination
+   steps reachable from it (a heap keeps them in topological order, and
+   scatter-form transposed adjacency built at refactorization serves the
+   BTRAN direction), and the result's pattern is handed back. The work
+   is O(touched nonzeros * log) and never scales with the basis
+   dimension, let alone the LP's total column count. Past an input
+   density cutoff the solves fall back to plain dense sweeps — cheaper
+   than paying the heap's log factor on a vector that touches most
+   steps anyway.
+
+   The factors live in flat CSC arrays ([l_ptr]/[l_idx]/[l_v], likewise
+   for U) that persist across refactorizations: factoring allocates
+   nothing per column, which matters when the simplex refactorizes every
+   few dozen pivots. *)
+
+exception Singular
+
+type t = {
+  refactor_every : int;
+  mutable m : int;  (* dimension of the factored basis; 0 = empty *)
+  mutable factored : bool;
+  (* Elimination step [k] pivots original row [pivrow.(k)] for basis
+     position [colorder.(k)]; [rowpos] is the inverse of [pivrow] and
+     [posstep] the inverse of [colorder]. *)
+  mutable pivrow : int array;
+  mutable rowpos : int array;
+  mutable colorder : int array;
+  mutable posstep : int array;
+  (* L: unit lower triangular in pivot order, flat CSC. Column [k]
+     holds the multipliers (original-row index, value) of rows unpivoted
+     at step [k]. U: column [k] holds entries at earlier steps, plus the
+     pivot [u_diag.(k)]. *)
+  mutable l_ptr : int array;  (* length m+1 *)
+  mutable l_idx : int array;
+  mutable l_v : float array;
+  mutable u_ptr : int array;
+  mutable u_idx : int array;
+  mutable u_v : float array;
+  mutable u_diag : float array;
+  (* Transposed adjacency (CSR), rebuilt at refactorization, for the
+     scatter-form BTRAN sweeps: [ur] maps step [tt] to the later columns
+     holding a U entry at [tt]; [lr] maps original row [i] to the steps
+     whose L column holds [i]. *)
+  mutable ur_ptr : int array;
+  mutable ur_idx : int array;
+  mutable ur_v : float array;
+  mutable lr_ptr : int array;
+  mutable lr_idx : int array;
+  mutable lr_v : float array;
+  (* Product-form eta file, in basis-position space. *)
+  mutable n_eta : int;
+  mutable eta_r : int array;
+  mutable eta_piv : float array;
+  mutable eta_idx : int array array;
+  mutable eta_v : float array array;
+  mutable eta_nnz : int;
+  mutable refactors : int;  (* lifetime refactorization count *)
+  (* scratch, all persistent across calls *)
+  mutable wx : float array;  (* dense accumulation column *)
+  mutable wmark : Bytes.t;
+  mutable wtouch : int array;
+  mutable ws : float array;  (* step-space vector for the solves *)
+  mutable wv : float array;  (* second step-space vector (BTRAN) *)
+  mutable wpat : int array;  (* pattern buffer for the dense entry points *)
+  mutable rcount : int array;  (* static row counts (Markowitz bias) *)
+  mutable order : int array;
+  mutable colnnz : int array;
+  mutable u_tt : int array;  (* per-column U assembly, popped ascending *)
+  mutable u_xv : float array;
+  mutable tr_cur : int array;  (* transpose fill cursors, length m+1 *)
+  (* min/max-heap of pending elimination steps, with a membership byte
+     per step so each is queued once *)
+  mutable heap : int array;
+  mutable hmark : Bytes.t;
+}
+
+let create ?(refactor_every = Tol.refactor_every) () =
+  {
+    refactor_every = Int.max refactor_every 1;
+    m = 0;
+    factored = false;
+    pivrow = [||];
+    rowpos = [||];
+    colorder = [||];
+    posstep = [||];
+    l_ptr = [| 0 |];
+    l_idx = [||];
+    l_v = [||];
+    u_ptr = [| 0 |];
+    u_idx = [||];
+    u_v = [||];
+    u_diag = [||];
+    ur_ptr = [||];
+    ur_idx = [||];
+    ur_v = [||];
+    lr_ptr = [||];
+    lr_idx = [||];
+    lr_v = [||];
+    n_eta = 0;
+    eta_r = Array.make 8 0;
+    eta_piv = Array.make 8 0.0;
+    eta_idx = Array.make 8 [||];
+    eta_v = Array.make 8 [||];
+    eta_nnz = 0;
+    refactors = 0;
+    wx = [||];
+    wmark = Bytes.empty;
+    wtouch = [||];
+    ws = [||];
+    wv = [||];
+    wpat = [||];
+    rcount = [||];
+    order = [||];
+    colnnz = [||];
+    u_tt = [||];
+    u_xv = [||];
+    tr_cur = [||];
+    heap = [||];
+    hmark = Bytes.empty;
+  }
+
+let dim t = t.m
+let factored t = t.factored
+let eta_count t = t.n_eta
+let eta_entries t = t.eta_nnz
+let refactor_count t = t.refactors
+let needs_refactor t = t.n_eta >= t.refactor_every
+let fill_entries t = if t.m = 0 then 0 else t.l_ptr.(t.m) + t.u_ptr.(t.m) + t.m
+
+let ensure_dim t m =
+  if Array.length t.pivrow < m then begin
+    t.pivrow <- Array.make m 0;
+    t.rowpos <- Array.make m (-1);
+    t.colorder <- Array.make m 0;
+    t.posstep <- Array.make m 0;
+    t.l_ptr <- Array.make (m + 1) 0;
+    t.u_ptr <- Array.make (m + 1) 0;
+    t.u_diag <- Array.make m 0.0;
+    t.ur_ptr <- Array.make (m + 1) 0;
+    t.lr_ptr <- Array.make (m + 1) 0;
+    t.wx <- Array.make m 0.0;
+    t.wmark <- Bytes.make m '\000';
+    t.wtouch <- Array.make m 0;
+    t.ws <- Array.make m 0.0;
+    t.wv <- Array.make m 0.0;
+    t.wpat <- Array.make m 0;
+    t.rcount <- Array.make m 0;
+    t.order <- Array.make m 0;
+    t.colnnz <- Array.make m 0;
+    t.u_tt <- Array.make m 0;
+    t.u_xv <- Array.make m 0.0;
+    t.tr_cur <- Array.make (m + 1) 0;
+    t.heap <- Array.make m 0;
+    t.hmark <- Bytes.make m '\000'
+  end;
+  t.m <- m
+
+let grow_int a need =
+  if Array.length a >= need then a
+  else begin
+    let b = Array.make (Int.max need (2 * Array.length a)) 0 in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+let grow_float a need =
+  if Array.length a >= need then a
+  else begin
+    let b = Array.make (Int.max need (2 * Array.length a)) 0.0 in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+(* Heap of pending elimination steps over [t.heap]/[t.hmark]; [sign] is
+   [1] for a min-heap (forward sweeps) and [-1] for a max-heap (backward
+   sweeps). The membership byte makes pushes idempotent, which is what
+   keeps every step processed exactly once per sweep. *)
+
+let hpush t hn ~sign tt =
+  if Bytes.unsafe_get t.hmark tt = '\000' then begin
+    Bytes.unsafe_set t.hmark tt '\001';
+    let heap = t.heap in
+    let i = ref !hn in
+    incr hn;
+    heap.(!i) <- tt;
+    while !i > 0 && sign * (heap.((!i - 1) / 2) - heap.(!i)) > 0 do
+      let p = (!i - 1) / 2 in
+      let tmp = heap.(p) in
+      heap.(p) <- heap.(!i);
+      heap.(!i) <- tmp;
+      i := p
+    done
+  end
+
+let hpop t hn ~sign =
+  let heap = t.heap in
+  let top = heap.(0) in
+  Bytes.unsafe_set t.hmark top '\000';
+  decr hn;
+  heap.(0) <- heap.(!hn);
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 in
+    let s = ref !i in
+    if l < !hn && sign * (heap.(l) - heap.(!s)) < 0 then s := l;
+    if l + 1 < !hn && sign * (heap.(l + 1) - heap.(!s)) < 0 then s := l + 1;
+    if !s = !i then continue := false
+    else begin
+      let tmp = heap.(!s) in
+      heap.(!s) <- heap.(!i);
+      heap.(!i) <- tmp;
+      i := !s
+    end
+  done;
+  top
+
+(* Factor the basis whose position-[k] column is [col k] (row indices,
+   values, used length). Raises {!Singular} when no acceptable pivot
+   remains for some column. Clears the eta file. *)
+let refactor t ~m ~col =
+  ensure_dim t m;
+  t.factored <- false;
+  t.n_eta <- 0;
+  t.eta_nnz <- 0;
+  Array.fill t.rowpos 0 m (-1);
+  Array.fill t.rcount 0 m 0;
+  (* Column order: ascending nonzero count (approximate Markowitz column
+     rule), stable counting sort; row counts of B for the within-column
+     row tie-break. *)
+  let maxnnz = ref 0 in
+  for c = 0 to m - 1 do
+    let idx, _, n = col c in
+    t.colnnz.(c) <- n;
+    if n > !maxnnz then maxnnz := n;
+    for s = 0 to n - 1 do
+      t.rcount.(idx.(s)) <- t.rcount.(idx.(s)) + 1
+    done
+  done;
+  let cnt = Array.make (!maxnnz + 2) 0 in
+  for c = 0 to m - 1 do
+    cnt.(t.colnnz.(c) + 1) <- cnt.(t.colnnz.(c) + 1) + 1
+  done;
+  for i = 1 to !maxnnz + 1 do
+    cnt.(i) <- cnt.(i) + cnt.(i - 1)
+  done;
+  for c = 0 to m - 1 do
+    let b = t.colnnz.(c) in
+    t.order.(cnt.(b)) <- c;
+    cnt.(b) <- cnt.(b) + 1
+  done;
+  let wx = t.wx and wmark = t.wmark and wtouch = t.wtouch in
+  let hn = ref 0 in
+  let touched = ref 0 in
+  let lp = ref 0 and up = ref 0 in
+  t.l_ptr.(0) <- 0;
+  t.u_ptr.(0) <- 0;
+  for k = 0 to m - 1 do
+    let c = t.order.(k) in
+    t.colorder.(k) <- c;
+    (* load column c; entries on already-pivoted rows queue their step *)
+    touched := 0;
+    let touch i =
+      if Bytes.unsafe_get wmark i = '\000' then begin
+        Bytes.unsafe_set wmark i '\001';
+        wtouch.(!touched) <- i;
+        incr touched;
+        let tt = t.rowpos.(i) in
+        if tt >= 0 then hpush t hn ~sign:1 tt
+      end
+    in
+    let idx, v, n = col c in
+    for s = 0 to n - 1 do
+      let i = idx.(s) in
+      touch i;
+      wx.(i) <- wx.(i) +. v.(s)
+    done;
+    (* left-looking elimination in ascending step order: the heap holds
+       exactly the earlier steps whose pivot row carries a nonzero, and
+       eliminating step [tt] only fills rows pivoted later, so the
+       traversal is complete without scanning steps 0..k-1. *)
+    let u_count = ref 0 in
+    while !hn > 0 do
+      let tt = hpop t hn ~sign:1 in
+      let xt = wx.(t.pivrow.(tt)) in
+      if Float.abs xt > Tol.pivot_drop then begin
+        t.u_tt.(!u_count) <- tt;
+        t.u_xv.(!u_count) <- xt;
+        incr u_count;
+        for s = t.l_ptr.(tt) to t.l_ptr.(tt + 1) - 1 do
+          let i = Array.unsafe_get t.l_idx s in
+          touch i;
+          wx.(i) <- wx.(i) -. (Array.unsafe_get t.l_v s *. xt)
+        done
+      end
+    done;
+    (* pivot choice among not-yet-pivoted rows *)
+    let amax = ref 0.0 in
+    for s = 0 to !touched - 1 do
+      let i = wtouch.(s) in
+      if t.rowpos.(i) < 0 then begin
+        let a = Float.abs wx.(i) in
+        if a > !amax then amax := a
+      end
+    done;
+    if !amax <= Tol.lu_singular then raise Singular;
+    let cutoff = Tol.lu_threshold *. !amax in
+    let best = ref (-1) and best_rc = ref max_int and best_a = ref 0.0 in
+    for s = 0 to !touched - 1 do
+      let i = wtouch.(s) in
+      if t.rowpos.(i) < 0 then begin
+        let a = Float.abs wx.(i) in
+        if a >= cutoff then begin
+          let rc = t.rcount.(i) in
+          if rc < !best_rc || (rc = !best_rc && a > !best_a) then begin
+            best := i;
+            best_rc := rc;
+            best_a := a
+          end
+        end
+      end
+    done;
+    let p = !best in
+    let d = wx.(p) in
+    t.pivrow.(k) <- p;
+    t.rowpos.(p) <- k;
+    t.u_diag.(k) <- d;
+    (* L column: multipliers on the remaining unpivoted rows *)
+    t.l_idx <- grow_int t.l_idx (!lp + !touched);
+    t.l_v <- grow_float t.l_v (!lp + !touched);
+    for s = 0 to !touched - 1 do
+      let i = wtouch.(s) in
+      if t.rowpos.(i) < 0 && Float.abs wx.(i) > Tol.pivot_drop then begin
+        t.l_idx.(!lp) <- i;
+        t.l_v.(!lp) <- wx.(i) /. d;
+        incr lp
+      end
+    done;
+    t.l_ptr.(k + 1) <- !lp;
+    (* U column (entries at earlier steps, ascending pop order) *)
+    t.u_idx <- grow_int t.u_idx (!up + !u_count);
+    t.u_v <- grow_float t.u_v (!up + !u_count);
+    Array.blit t.u_tt 0 t.u_idx !up !u_count;
+    Array.blit t.u_xv 0 t.u_v !up !u_count;
+    up := !up + !u_count;
+    t.u_ptr.(k + 1) <- !up;
+    (* reset workspace *)
+    for s = 0 to !touched - 1 do
+      let i = wtouch.(s) in
+      wx.(i) <- 0.0;
+      Bytes.unsafe_set wmark i '\000'
+    done
+  done;
+  for k = 0 to m - 1 do
+    t.posstep.(t.colorder.(k)) <- k
+  done;
+  (* Transposed adjacency for the BTRAN scatter sweeps. *)
+  let unnz = t.u_ptr.(m) and lnnz = t.l_ptr.(m) in
+  t.ur_idx <- grow_int t.ur_idx unnz;
+  t.ur_v <- grow_float t.ur_v unnz;
+  t.lr_idx <- grow_int t.lr_idx lnnz;
+  t.lr_v <- grow_float t.lr_v lnnz;
+  let cur = t.tr_cur in
+  Array.fill t.ur_ptr 0 (m + 1) 0;
+  for s = 0 to unnz - 1 do
+    t.ur_ptr.(t.u_idx.(s) + 1) <- t.ur_ptr.(t.u_idx.(s) + 1) + 1
+  done;
+  for i = 1 to m do
+    t.ur_ptr.(i) <- t.ur_ptr.(i) + t.ur_ptr.(i - 1)
+  done;
+  Array.blit t.ur_ptr 0 cur 0 (m + 1);
+  for k = 0 to m - 1 do
+    for s = t.u_ptr.(k) to t.u_ptr.(k + 1) - 1 do
+      let w = cur.(t.u_idx.(s)) in
+      t.ur_idx.(w) <- k;
+      t.ur_v.(w) <- t.u_v.(s);
+      cur.(t.u_idx.(s)) <- w + 1
+    done
+  done;
+  Array.fill t.lr_ptr 0 (m + 1) 0;
+  for s = 0 to lnnz - 1 do
+    t.lr_ptr.(t.l_idx.(s) + 1) <- t.lr_ptr.(t.l_idx.(s) + 1) + 1
+  done;
+  for i = 1 to m do
+    t.lr_ptr.(i) <- t.lr_ptr.(i) + t.lr_ptr.(i - 1)
+  done;
+  Array.blit t.lr_ptr 0 cur 0 (m + 1);
+  for k = 0 to m - 1 do
+    for s = t.l_ptr.(k) to t.l_ptr.(k + 1) - 1 do
+      let w = cur.(t.l_idx.(s)) in
+      t.lr_idx.(w) <- k;
+      t.lr_v.(w) <- t.l_v.(s);
+      cur.(t.l_idx.(s)) <- w + 1
+    done
+  done;
+  t.refactors <- t.refactors + 1;
+  t.factored <- true
+
+(* The heap-ordered sweeps win when the right-hand side touches few
+   elimination steps; past this input density the plain dense sweeps
+   (O(m + nnz factors), no log factor, no per-entry heap traffic) are
+   cheaper. *)
+let dense_cutoff t n = n * 8 > t.m
+
+let scan_out t x pat =
+  let rn = ref 0 in
+  for i = 0 to t.m - 1 do
+    if Array.unsafe_get x i <> 0.0 then begin
+      pat.(!rn) <- i;
+      incr rn
+    end
+  done;
+  !rn
+
+let apply_etas_fwd t x =
+  for e = 0 to t.n_eta - 1 do
+    let r = t.eta_r.(e) in
+    let xr = x.(r) in
+    if xr <> 0.0 then begin
+      let tv = xr /. t.eta_piv.(e) in
+      x.(r) <- tv;
+      let ei = t.eta_idx.(e) and ev = t.eta_v.(e) in
+      for s = 0 to Array.length ei - 1 do
+        let i = Array.unsafe_get ei s in
+        Array.unsafe_set x i
+          (Array.unsafe_get x i -. (Array.unsafe_get ev s *. tv))
+      done
+    end
+  done
+
+let ftran_dense t x pat =
+  let ws = t.ws in
+  (* L z = b ascending: row [pivrow tt] is final once step [tt] runs *)
+  for tt = 0 to t.m - 1 do
+    let p = t.pivrow.(tt) in
+    let v = x.(p) in
+    ws.(tt) <- v;
+    x.(p) <- 0.0;
+    if v <> 0.0 then
+      for s = t.l_ptr.(tt) to t.l_ptr.(tt + 1) - 1 do
+        let i = Array.unsafe_get t.l_idx s in
+        Array.unsafe_set x i
+          (Array.unsafe_get x i -. (Array.unsafe_get t.l_v s *. v))
+      done
+  done;
+  (* U y = z descending *)
+  for tt = t.m - 1 downto 0 do
+    let v = ws.(tt) /. t.u_diag.(tt) in
+    ws.(tt) <- 0.0;
+    if v <> 0.0 then begin
+      x.(t.colorder.(tt)) <- v;
+      for s = t.u_ptr.(tt) to t.u_ptr.(tt + 1) - 1 do
+        let k2 = Array.unsafe_get t.u_idx s in
+        Array.unsafe_set ws k2
+          (Array.unsafe_get ws k2 -. (Array.unsafe_get t.u_v s *. v))
+      done
+    end
+  done;
+  apply_etas_fwd t x;
+  scan_out t x pat
+
+let btran_dense t x pat =
+  (* eta transposes, newest first *)
+  for e = t.n_eta - 1 downto 0 do
+    let r = t.eta_r.(e) in
+    let acc = ref x.(r) in
+    let ei = t.eta_idx.(e) and ev = t.eta_v.(e) in
+    for s = 0 to Array.length ei - 1 do
+      acc :=
+        !acc
+        -. (Array.unsafe_get ev s *. Array.unsafe_get x (Array.unsafe_get ei s))
+    done;
+    x.(r) <- !acc /. t.eta_piv.(e)
+  done;
+  let ws = t.ws in
+  (* U^T v = s ascending, gathering the earlier steps *)
+  for tt = 0 to t.m - 1 do
+    let p = t.colorder.(tt) in
+    let acc = ref x.(p) in
+    x.(p) <- 0.0;
+    for s = t.u_ptr.(tt) to t.u_ptr.(tt + 1) - 1 do
+      acc :=
+        !acc
+        -. (Array.unsafe_get t.u_v s *. Array.unsafe_get ws (Array.unsafe_get t.u_idx s))
+    done;
+    ws.(tt) <- !acc /. t.u_diag.(tt)
+  done;
+  (* L^T y = v descending: rows in L column [tt] were pivoted later, so
+     their solution values already sit in [x] *)
+  for tt = t.m - 1 downto 0 do
+    let acc = ref ws.(tt) in
+    ws.(tt) <- 0.0;
+    for s = t.l_ptr.(tt) to t.l_ptr.(tt + 1) - 1 do
+      acc :=
+        !acc
+        -. (Array.unsafe_get t.l_v s *. Array.unsafe_get x (Array.unsafe_get t.l_idx s))
+    done;
+    x.(t.pivrow.(tt)) <- !acc
+  done;
+  scan_out t x pat
+
+(* Hypersparse FTRAN: [x] holds [b] over rows on entry and the solution
+   over basis positions on exit; [pat]/[n] list the input nonzero rows
+   and are overwritten with the result's positions. Returns the result
+   count. Work is O(touched nonzeros * log), independent of [t.m]. *)
+let ftran_sparse t x pat n =
+  let hn = ref 0 in
+  (* forward: L z = b, z living at the pivot rows; steps pop ascending
+     because L fill only lands on rows pivoted later *)
+  for s = 0 to n - 1 do
+    hpush t hn ~sign:1 t.rowpos.(pat.(s))
+  done;
+  let wtouch = t.wtouch in
+  let zn = ref 0 in
+  while !hn > 0 do
+    let tt = hpop t hn ~sign:1 in
+    let v = x.(t.pivrow.(tt)) in
+    if v <> 0.0 then begin
+      wtouch.(!zn) <- tt;
+      incr zn;
+      for s = t.l_ptr.(tt) to t.l_ptr.(tt + 1) - 1 do
+        let i = Array.unsafe_get t.l_idx s in
+        hpush t hn ~sign:1 t.rowpos.(i);
+        Array.unsafe_set x i
+          (Array.unsafe_get x i -. (Array.unsafe_get t.l_v s *. v))
+      done
+    end
+  done;
+  (* move z into step space, clearing x back to all-zero *)
+  let ws = t.ws in
+  for s = 0 to !zn - 1 do
+    let p = t.pivrow.(wtouch.(s)) in
+    ws.(wtouch.(s)) <- x.(p);
+    x.(p) <- 0.0
+  done;
+  (* back: U y = z, descending; U fill lands on earlier steps *)
+  for s = 0 to !zn - 1 do
+    hpush t hn ~sign:(-1) wtouch.(s)
+  done;
+  let rn = ref 0 in
+  while !hn > 0 do
+    let tt = hpop t hn ~sign:(-1) in
+    let v = ws.(tt) /. t.u_diag.(tt) in
+    ws.(tt) <- 0.0;
+    if v <> 0.0 then begin
+      x.(t.colorder.(tt)) <- v;
+      pat.(!rn) <- t.colorder.(tt);
+      incr rn;
+      for s = t.u_ptr.(tt) to t.u_ptr.(tt + 1) - 1 do
+        let k2 = Array.unsafe_get t.u_idx s in
+        hpush t hn ~sign:(-1) k2;
+        Array.unsafe_set ws k2
+          (Array.unsafe_get ws k2 -. (Array.unsafe_get t.u_v s *. v))
+      done
+    end
+  done;
+  (* eta file, oldest first, in position space *)
+  if t.n_eta > 0 then begin
+    let wmark = t.wmark in
+    for s = 0 to !rn - 1 do
+      Bytes.unsafe_set wmark pat.(s) '\001'
+    done;
+    for e = 0 to t.n_eta - 1 do
+      let r = t.eta_r.(e) in
+      let xr = x.(r) in
+      if xr <> 0.0 then begin
+        let tv = xr /. t.eta_piv.(e) in
+        x.(r) <- tv;
+        let ei = t.eta_idx.(e) and ev = t.eta_v.(e) in
+        for s = 0 to Array.length ei - 1 do
+          let i = Array.unsafe_get ei s in
+          if Bytes.unsafe_get wmark i = '\000' then begin
+            Bytes.unsafe_set wmark i '\001';
+            pat.(!rn) <- i;
+            incr rn
+          end;
+          Array.unsafe_set x i
+            (Array.unsafe_get x i -. (Array.unsafe_get ev s *. tv))
+        done
+      end
+    done;
+    for s = 0 to !rn - 1 do
+      Bytes.unsafe_set wmark pat.(s) '\000'
+    done
+  end;
+  !rn
+
+let ftran_pat t x pat n =
+  if dense_cutoff t n then ftran_dense t x pat else ftran_sparse t x pat n
+
+(* Hypersparse BTRAN: [x] holds [c] over basis positions on entry and
+   the solution over rows on exit; [pat]/[n] list the input positions
+   and are overwritten with the result's rows. Returns the result
+   count. *)
+let btran_sparse t x pat n =
+  let rn = ref n in
+  (* eta transposes, newest first (gather form; the file is short) *)
+  if t.n_eta > 0 then begin
+    let wmark = t.wmark in
+    for s = 0 to n - 1 do
+      Bytes.unsafe_set wmark pat.(s) '\001'
+    done;
+    for e = t.n_eta - 1 downto 0 do
+      let r = t.eta_r.(e) in
+      let acc = ref x.(r) in
+      let ei = t.eta_idx.(e) and ev = t.eta_v.(e) in
+      for s = 0 to Array.length ei - 1 do
+        acc :=
+          !acc
+          -. (Array.unsafe_get ev s *. Array.unsafe_get x (Array.unsafe_get ei s))
+      done;
+      let v = !acc /. t.eta_piv.(e) in
+      x.(r) <- v;
+      if v <> 0.0 && Bytes.unsafe_get wmark r = '\000' then begin
+        Bytes.unsafe_set wmark r '\001';
+        pat.(!rn) <- r;
+        incr rn
+      end
+    done;
+    for s = 0 to !rn - 1 do
+      Bytes.unsafe_set wmark pat.(s) '\000'
+    done
+  end;
+  (* move into step space, clearing x *)
+  let hn = ref 0 in
+  let ws = t.ws in
+  for s = 0 to !rn - 1 do
+    let p = pat.(s) in
+    if x.(p) <> 0.0 then begin
+      let tt = t.posstep.(p) in
+      ws.(tt) <- x.(p);
+      x.(p) <- 0.0;
+      hpush t hn ~sign:1 tt
+    end
+  done;
+  (* forward: U^T v = s, ascending, scatter via the U row adjacency *)
+  let wv = t.wv and wtouch = t.wtouch in
+  let zn = ref 0 in
+  while !hn > 0 do
+    let tt = hpop t hn ~sign:1 in
+    let v = ws.(tt) /. t.u_diag.(tt) in
+    ws.(tt) <- 0.0;
+    if v <> 0.0 then begin
+      wv.(tt) <- v;
+      wtouch.(!zn) <- tt;
+      incr zn;
+      for s = t.ur_ptr.(tt) to t.ur_ptr.(tt + 1) - 1 do
+        let k2 = Array.unsafe_get t.ur_idx s in
+        hpush t hn ~sign:1 k2;
+        Array.unsafe_set ws k2
+          (Array.unsafe_get ws k2 -. (Array.unsafe_get t.ur_v s *. v))
+      done
+    end
+  done;
+  (* back: L^T y = v, descending, scatter via the L row adjacency;
+     step [tt]'s result lands on original row [pivrow tt] and feeds the
+     strictly earlier steps whose L column holds that row *)
+  for s = 0 to !zn - 1 do
+    hpush t hn ~sign:(-1) wtouch.(s)
+  done;
+  let rn = ref 0 in
+  while !hn > 0 do
+    let tt = hpop t hn ~sign:(-1) in
+    let v = wv.(tt) in
+    wv.(tt) <- 0.0;
+    if v <> 0.0 then begin
+      let p = t.pivrow.(tt) in
+      x.(p) <- v;
+      pat.(!rn) <- p;
+      incr rn;
+      for s = t.lr_ptr.(p) to t.lr_ptr.(p + 1) - 1 do
+        let k2 = Array.unsafe_get t.lr_idx s in
+        hpush t hn ~sign:(-1) k2;
+        Array.unsafe_set wv k2
+          (Array.unsafe_get wv k2 -. (Array.unsafe_get t.lr_v s *. v))
+      done
+    end
+  done;
+  !rn
+
+let btran_pat t x pat n =
+  if dense_cutoff t n then btran_dense t x pat else btran_sparse t x pat n
+
+(* Dense entry points: one O(m) scan builds the pattern. *)
+
+let ftran t x = ftran_pat t x t.wpat (scan_out t x t.wpat)
+let btran t x = btran_pat t x t.wpat (scan_out t x t.wpat)
+
+(* Append the product-form eta of a basis change at position [r] with
+   FTRAN'd entering column [w] ([pat]/[n]: its nonzero positions). *)
+let update_pat t ~r ~w ~pat ~n =
+  let piv = w.(r) in
+  if Float.abs piv <= Tol.lu_singular then raise Singular;
+  if Array.length t.eta_r = t.n_eta then begin
+    let cap = 2 * t.n_eta in
+    let grow a fill =
+      let b = Array.make cap fill in
+      Array.blit a 0 b 0 t.n_eta;
+      b
+    in
+    t.eta_r <- grow t.eta_r 0;
+    t.eta_piv <- grow t.eta_piv 0.0;
+    t.eta_idx <- grow t.eta_idx [||];
+    t.eta_v <- grow t.eta_v [||]
+  end;
+  let c = ref 0 in
+  for s = 0 to n - 1 do
+    let i = pat.(s) in
+    if i <> r && Float.abs w.(i) > Tol.pivot_drop then incr c
+  done;
+  let ei = Array.make !c 0 and ev = Array.make !c 0.0 in
+  let k = ref 0 in
+  for s = 0 to n - 1 do
+    let i = pat.(s) in
+    if i <> r && Float.abs w.(i) > Tol.pivot_drop then begin
+      ei.(!k) <- i;
+      ev.(!k) <- w.(i);
+      incr k
+    end
+  done;
+  let e = t.n_eta in
+  t.eta_r.(e) <- r;
+  t.eta_piv.(e) <- piv;
+  t.eta_idx.(e) <- ei;
+  t.eta_v.(e) <- ev;
+  t.n_eta <- e + 1;
+  t.eta_nnz <- t.eta_nnz + !c
+
+let update t ~r ~w = update_pat t ~r ~w ~pat:t.wpat ~n:(scan_out t w t.wpat)

@@ -1,0 +1,80 @@
+(** Sparse LU basis factorization with a product-form eta file — the
+    numerical engine of the revised simplex backend in {!Simplex}.
+
+    {!refactor} factors the current basis with a left-looking column LU:
+    columns in ascending-nonzero order, threshold partial pivoting
+    ({!Tol.lu_threshold}) with a static-row-count Markowitz bias inside
+    the admissible window. Each simplex basis change then appends one
+    sparse eta column via {!update}; {!ftran_pat}/{!btran_pat} run the
+    two triangular solves plus the eta file on a caller-owned dense
+    workspace, driven by the right-hand side's nonzero pattern: only the
+    elimination steps reachable from it are visited (heap-ordered, with
+    transposed factor adjacency for the BTRAN direction), and the
+    result's pattern is returned so downstream consumers never rescan
+    the whole vector. A solve costs O(touched nonzeros * log),
+    independent of the basis dimension and of how many columns the LP
+    has. {!ftran}/{!btran} are the dense entry points (one O(m) scan to
+    recover the pattern).
+
+    The eta file should be folded back into a fresh factorization every
+    [refactor_every] updates ({!needs_refactor}) or when a pivot looks
+    unstable — policy is the caller's; this module only reports. *)
+
+type t
+
+(** Raised when no pivot above {!Tol.lu_singular} remains for a column
+    ({!refactor}), or an eta pivot is below it ({!update}). *)
+exception Singular
+
+val create : ?refactor_every:int -> unit -> t
+
+(** [refactor t ~m ~col] factors the [m]-dimensional basis whose
+    position-[k] column is [col k] = (row indices, values, used length).
+    Clears the eta file. Raises {!Singular} on a numerically singular
+    basis. *)
+val refactor : t -> m:int -> col:(int -> int array * float array * int) -> unit
+
+(** [ftran_pat t x pat n] solves [B x = b] in place: on entry [x] holds
+    [b] indexed by row with its [n] nonzero rows listed in [pat], on
+    exit the solution indexed by basis position with its positions
+    written back into [pat]. [pat] must have room for [dim t] entries.
+    Returns the result's count. *)
+val ftran_pat : t -> float array -> int array -> int -> int
+
+(** [btran_pat t x pat n] solves [B^T y = c] in place: on entry indexed
+    by basis position (pattern = positions), on exit by row (pattern =
+    rows). Same contract as {!ftran_pat}. *)
+val btran_pat : t -> float array -> int array -> int -> int
+
+(** Dense entry points: scan the vector for its pattern, then solve as
+    {!ftran_pat}/{!btran_pat}. Return the result's nonzero count. *)
+val ftran : t -> float array -> int
+
+val btran : t -> float array -> int
+
+(** [update_pat t ~r ~w ~pat ~n] records the basis change that replaced
+    position [r] by the column whose FTRAN result is [w] (dense,
+    basis-position space, nonzeros listed in [pat]). Raises {!Singular}
+    when [|w.(r)|] is below {!Tol.lu_singular}. *)
+val update_pat : t -> r:int -> w:float array -> pat:int array -> n:int -> unit
+
+(** As {!update_pat}, recovering the pattern with an O(m) scan. *)
+val update : t -> r:int -> w:float array -> unit
+
+val dim : t -> int
+val factored : t -> bool
+
+(** Eta columns since the last {!refactor}. *)
+val eta_count : t -> int
+
+(** Stored eta entries since the last {!refactor}. *)
+val eta_entries : t -> int
+
+(** Lifetime refactorization count. *)
+val refactor_count : t -> int
+
+(** Nonzeros stored in the current L and U factors. *)
+val fill_entries : t -> int
+
+(** Whether the eta file has reached [refactor_every]. *)
+val needs_refactor : t -> bool

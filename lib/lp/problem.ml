@@ -2,7 +2,19 @@ type var = int
 
 type cmp = Le | Ge | Eq
 
-type backend = [ `Dense | `Sparse ]
+type backend = [ `Dense | `Sparse | `Revised ]
+
+let backend_of_string s =
+  match String.lowercase_ascii s with
+  | "dense" -> Some `Dense
+  | "tableau" | "sparse" -> Some `Sparse
+  | "revised" -> Some `Revised
+  | _ -> None
+
+let backend_name = function
+  | `Dense -> "dense"
+  | `Sparse -> "tableau"
+  | `Revised -> "revised"
 
 type var_info = { vname : string; lb : float; ub : float }
 
@@ -235,6 +247,7 @@ end
 
 type session = {
   sp : t;
+  sbackend : backend option;
   smax_pivots : int option;
   mutable core : (Simplex.Session.t * translated) option;
   mutable seen_rows : int;  (* rows of [sp] already in [core] *)
@@ -242,9 +255,9 @@ type session = {
   mutable retired_pivots : int;  (* pivots spent in discarded cores *)
 }
 
-let session ?max_pivots t =
-  { sp = t; smax_pivots = max_pivots; core = None; seen_rows = 0;
-    seen_vars = 0; retired_pivots = 0 }
+let session ?backend ?max_pivots t =
+  { sp = t; sbackend = backend; smax_pivots = max_pivots; core = None;
+    seen_rows = 0; seen_vars = 0; retired_pivots = 0 }
 
 let session_pivots s =
   s.retired_pivots
@@ -262,8 +275,8 @@ let cold_start s =
   R3_util.Metrics.incr Obs.cold_starts;
   let tr = translate t in
   let core =
-    Simplex.Session.create ?max_pivots:s.smax_pivots ~obj:tr.obj ~rows:tr.rows
-      ~cmps:tr.cmps ~rhs:tr.rhs ()
+    Simplex.Session.create ?backend:s.sbackend ?max_pivots:s.smax_pivots
+      ~obj:tr.obj ~rows:tr.rows ~cmps:tr.cmps ~rhs:tr.rhs ()
   in
   s.core <- Some (core, tr);
   s.seen_rows <- t.nrows;

@@ -13,10 +13,10 @@ type outcome = {
   pivots : int;
 }
 
-type backend = [ `Dense | `Sparse ]
+type backend = [ `Dense | `Sparse | `Revised ]
 
-let eps = 1e-9
-let feas_tol = 1e-7
+let eps = Tol.eps
+let feas_tol = Tol.feas
 
 type phase_end = Phase_optimal | Phase_unbounded | Phase_limit
 
@@ -40,6 +40,23 @@ module Obs = struct
   let dual_pivots = M.counter "lp.dual_pivots"
   let resolves = M.counter "lp.resolves"
   let solve_seconds = M.histogram "lp.solve.seconds"
+  let rev_refactors = M.counter "lp.rev.refactorizations"
+  let rev_eta_entries = M.counter "lp.rev.eta_entries"
+  let rev_ftran_nnz = M.counter "lp.rev.ftran_nnz"
+  let rev_btran_nnz = M.counter "lp.rev.btran_nnz"
+  let rev_cand_hits = M.counter "lp.rev.candidate_hits"
+  let rev_cand_refreshes = M.counter "lp.rev.candidate_refreshes"
+  let rev_fallbacks = M.counter "lp.rev.fallbacks"
+
+  (* Revised-backend factorization and pricing counters, flushed once per
+     (re-)solve next to {!record_solve}/{!record_resolve}. *)
+  let record_rev ~refactors ~eta ~ftran ~btran ~hits ~refreshes =
+    M.add rev_refactors refactors;
+    M.add rev_eta_entries eta;
+    M.add rev_ftran_nnz ftran;
+    M.add rev_btran_nnz btran;
+    M.add rev_cand_hits hits;
+    M.add rev_cand_refreshes refreshes
 
   (* One finished two-phase solve. [p1] = pivots spent in phase 1. *)
   let record_solve ~pivots:p ~p1 ~degen ~harris ~resets ~dt =
@@ -174,20 +191,20 @@ module Dense = struct
       if i <> ip && st.active.(i) then begin
         let row = Array.unsafe_get tab i in
         let factor = Array.unsafe_get row jp in
-        if Float.abs factor > 1e-13 then begin
+        if Float.abs factor > Tol.pivot_drop then begin
           for j = 0 to width - 1 do
             Array.unsafe_set row j
               (Array.unsafe_get row j -. (factor *. Array.unsafe_get prow j))
           done;
           row.(jp) <- 0.0;
           b.(i) <- b.(i) -. (factor *. brow);
-          if b.(i) < 0.0 && b.(i) > -1e-11 then b.(i) <- 0.0
+          if b.(i) < 0.0 && b.(i) > -.Tol.rhs_snap then b.(i) <- 0.0
         end
       end
     done;
     let eliminate cost =
       let factor = cost.(jp) in
-      if Float.abs factor > 1e-13 then begin
+      if Float.abs factor > Tol.pivot_drop then begin
         for j = 0 to width - 1 do
           Array.unsafe_set cost j
             (Array.unsafe_get cost j -. (factor *. Array.unsafe_get prow j))
@@ -211,7 +228,7 @@ module Dense = struct
     done;
     st.devex.(jp) <- Float.max (wq /. (piv *. piv)) 1.0;
     (* Reset the reference framework when weights blow up. *)
-    if st.devex.(jp) > 1e10 || wq > 1e10 then begin
+    if st.devex.(jp) > Tol.devex_reset || wq > Tol.devex_reset then begin
       Array.fill st.devex 0 width 1.0;
       st.devex_resets <- st.devex_resets + 1
     end;
@@ -268,7 +285,7 @@ module Dense = struct
     done;
     if !theta = infinity then None
     else begin
-      let lim = !theta +. (1e-7 *. (1.0 +. !theta)) in
+      let lim = !theta +. (Tol.harris_rel *. (1.0 +. !theta)) in
       let best = ref (-1) and best_piv = ref 0.0 in
       for i = 0 to st.m - 1 do
         if st.active.(i) then begin
@@ -299,7 +316,7 @@ module Dense = struct
             match leaving st jp with
             | None -> Phase_unbounded
             | Some (ip, ratio) ->
-              if ratio < 1e-10 then begin
+              if ratio < Tol.degenerate_ratio then begin
                 st.degenerate_run <- st.degenerate_run + 1;
                 st.degen <- st.degen + 1
               end
@@ -326,7 +343,7 @@ module Dense = struct
         let j = ref 0 in
         let real_width = st.width - st.n_art in
         while !jp < 0 && !j < real_width do
-          if Float.abs row.(!j) > 1e-7 then jp := !j;
+          if Float.abs row.(!j) > Tol.purge then jp := !j;
           incr j
         done;
         if !jp >= 0 then pivot st i !jp else st.active.(i) <- false
@@ -532,11 +549,11 @@ module Sp = struct
         let factor =
           if cached then Array.unsafe_get st.col_v i else Sparse.get row jp
         in
-        if Float.abs factor > 1e-13 then begin
+        if Float.abs factor > Tol.pivot_drop then begin
           Sparse.axpy ~scratch:st.scratch ~y:row ~x:prow factor;
           Sparse.clear row jp;
           st.b.(i) <- st.b.(i) -. (factor *. brow);
-          if st.b.(i) < 0.0 && st.b.(i) > -1e-11 then st.b.(i) <- 0.0
+          if st.b.(i) < 0.0 && st.b.(i) > -.Tol.rhs_snap then st.b.(i) <- 0.0
         end
       end
     done;
@@ -544,7 +561,7 @@ module Sp = struct
     let pidx, pv, pn = Sparse.raw prow in
     let eliminate cost =
       let factor = cost.(jp) in
-      if Float.abs factor > 1e-13 then begin
+      if Float.abs factor > Tol.pivot_drop then begin
         for s = 0 to pn - 1 do
           let j = Array.unsafe_get pidx s in
           Array.unsafe_set cost j
@@ -567,7 +584,7 @@ module Sp = struct
       if cand > Array.unsafe_get st.devex j then Array.unsafe_set st.devex j cand
     done;
     st.devex.(jp) <- Float.max (wq /. (piv *. piv)) 1.0;
-    if st.devex.(jp) > 1e10 || wq > 1e10 then begin
+    if st.devex.(jp) > Tol.devex_reset || wq > Tol.devex_reset then begin
       Array.fill st.devex 0 st.width 1.0;
       st.devex_resets <- st.devex_resets + 1
     end;
@@ -621,7 +638,7 @@ module Sp = struct
     st.col_j <- jp;
     if !nc = 0 then None
     else begin
-      let lim = !theta +. (1e-7 *. (1.0 +. !theta)) in
+      let lim = !theta +. (Tol.harris_rel *. (1.0 +. !theta)) in
       (* Largest pivot element within the tolerance, ties to the smallest
          basis index, exactly as in {!Dense.leaving}. (A Markowitz-style
          sparsest-row tie-break was tried here to curb fill-in: accepting
@@ -655,7 +672,7 @@ module Sp = struct
             match leaving st jp with
             | None -> Phase_unbounded
             | Some (ip, ratio) ->
-              if ratio < 1e-10 then begin
+              if ratio < Tol.degenerate_ratio then begin
                 st.degenerate_run <- st.degenerate_run + 1;
                 st.degen <- st.degen + 1
               end
@@ -678,7 +695,7 @@ module Sp = struct
         (try
            Sparse.iter
              (fun j x ->
-               if (not (is_artificial st j)) && Float.abs x > 1e-7 then begin
+               if (not (is_artificial st j)) && Float.abs x > Tol.purge then begin
                  jp := j;
                  raise Exit
                end)
@@ -861,7 +878,7 @@ module Sp = struct
     let rec loop () =
       if st.pivots >= limit then Phase_limit
       else begin
-        let ip = ref (-1) and bmin = ref (-1e-9) in
+        let ip = ref (-1) and bmin = ref (-.Tol.dual_feas) in
         for i = 0 to st.m - 1 do
           if st.active.(i) && st.b.(i) < !bmin then begin
             ip := i;
@@ -877,8 +894,9 @@ module Sp = struct
               if a < -.eps && not (is_artificial st j) then begin
                 let ratio = st.cost2.(j) /. -.a in
                 if
-                  ratio < !best -. 1e-12
-                  || (ratio < !best +. 1e-12 && Float.abs a > Float.abs !best_a)
+                  ratio < !best -. Tol.dual_ratio_tie
+                  || (ratio < !best +. Tol.dual_ratio_tie
+                     && Float.abs a > Float.abs !best_a)
                 then begin
                   jp := j;
                   best := ratio;
@@ -936,29 +954,918 @@ module Sp = struct
     end
 end
 
+(* ==================================================================== *)
+(* Revised backend: the basis is held as a sparse LU factorization (see
+   {!Lu}) instead of an explicitly pivoted tableau. Each iteration costs
+   one BTRAN (pivot row), one FTRAN (entering column) and an eta append,
+   all O(touched nonzeros) - per-pivot work no longer scales with the
+   total column count. Pricing is Devex over a cached candidate list;
+   the Harris ratio test runs on the FTRAN result. The same state is a
+   warm-startable session: appended rows keep the factorization, and
+   [resolve] repairs primal feasibility with dual-simplex pivots through
+   the carried-over LU.                                                 *)
+(* ==================================================================== *)
+
+module Rev = struct
+  module R = R3_util.Rowvec
+  module T = R3_util.Trace
+
+  (* Entering candidates retained by one pricing refresh. *)
+  let cand_cap = 64
+
+  type state = {
+    n_struct : int;
+    art_lo : int;  (* artificial columns occupy [art_lo, art_hi) *)
+    art_hi : int;
+    budget : int;  (* pivot budget per (re-)solve *)
+    obj : float array;
+    col_scale : float array;
+    lu : Lu.t;
+    mutable m : int;
+    mutable width : int;
+    mutable cols : R.t array;  (* per column: row entries, first [width] used *)
+    mutable arows : R.t array;  (* per row: all column entries (static) *)
+    mutable b0 : float array;  (* scaled rhs *)
+    mutable basis : int array;  (* basis position -> column *)
+    mutable pos_of : int array;  (* column -> basis position, or -1 *)
+    mutable xb : float array;  (* basic values by position *)
+    mutable dj : float array;  (* reduced costs of the current phase *)
+    mutable cost2 : float array;  (* scaled phase-2 objective per column *)
+    mutable devex : float array;
+    (* Solve workspaces, length >= m. Invariant: zero outside the first
+       [w_n]/[rho_n] entries of their pattern arrays — producers clear
+       the previous support and hand the new one to the pattern-aware LU
+       solves, consumers iterate the support, so per-pivot work tracks
+       the nonzeros actually touched rather than [m]. *)
+    mutable w : float array;  (* FTRAN workspace *)
+    mutable w_pat : int array;
+    mutable w_n : int;
+    mutable rho : float array;  (* BTRAN workspace *)
+    mutable rho_pat : int array;
+    mutable rho_n : int;
+    mutable alpha : float array;  (* pivot-row workspace, length >= width *)
+    mutable alpha_mark : Bytes.t;
+    mutable alpha_sup : int array;  (* pivot-row support (column indices) *)
+    mutable alpha_n : int;
+    cand : int array;  (* pricing candidate list *)
+    mutable cand_n : int;
+    mutable in_phase1 : bool;
+    mutable pivots : int;
+    mutable degenerate_run : int;
+    mutable degen : int;
+    mutable harris_rej : int;
+    mutable devex_resets : int;
+    mutable refactors : int;  (* with the five below: Obs accumulators *)
+    mutable eta_app : int;
+    mutable ftran_nnz : int;
+    mutable btran_nnz : int;
+    mutable cand_hits : int;
+    mutable cand_refreshes : int;
+    mutable valid : bool;  (* last solve ended [Optimal]: warm restart ok *)
+  }
+
+  let is_artificial st j = j >= st.art_lo && j < st.art_hi
+
+  let clear_alpha st =
+    for s = 0 to st.alpha_n - 1 do
+      let j = st.alpha_sup.(s) in
+      st.alpha.(j) <- 0.0;
+      Bytes.unsafe_set st.alpha_mark j '\000'
+    done;
+    st.alpha_n <- 0
+
+  let grow_cols st extra =
+    let need = st.width + extra in
+    if Array.length st.dj < need then begin
+      (* The mark bytes and alpha values are dirty from the last
+         [pivot_row]; they are cleared lazily through [alpha_sup], so
+         flush them while the support still matches before replacing it
+         with a fresh (empty) one. *)
+      clear_alpha st;
+      let cap = Int.max need (2 * Array.length st.dj) in
+      let grow a fill =
+        let b = Array.make cap fill in
+        Array.blit a 0 b 0 st.width;
+        b
+      in
+      st.dj <- grow st.dj 0.0;
+      st.cost2 <- grow st.cost2 0.0;
+      st.devex <- grow st.devex 1.0;
+      st.alpha <- grow st.alpha 0.0;
+      let mk = Bytes.make cap '\000' in
+      Bytes.blit st.alpha_mark 0 mk 0 st.width;
+      st.alpha_mark <- mk;
+      st.alpha_sup <- Array.make cap 0;
+      let pos = Array.make cap (-1) in
+      Array.blit st.pos_of 0 pos 0 st.width;
+      st.pos_of <- pos;
+      let cols = Array.init cap (fun _ -> R.create ~cap:4 ()) in
+      Array.blit st.cols 0 cols 0 st.width;
+      st.cols <- cols
+    end
+
+  let grow_rows st extra =
+    let need = st.m + extra in
+    if Array.length st.b0 < need then begin
+      let cap = Int.max need (2 * Array.length st.b0) in
+      let grow a fill =
+        let b = Array.make cap fill in
+        Array.blit a 0 b 0 st.m;
+        b
+      in
+      st.b0 <- grow st.b0 0.0;
+      st.xb <- grow st.xb 0.0;
+      (* fresh all-zero workspaces: the empty pattern is correct *)
+      st.w <- Array.make cap 0.0;
+      st.rho <- Array.make cap 0.0;
+      st.w_pat <- Array.make cap 0;
+      st.rho_pat <- Array.make cap 0;
+      st.w_n <- 0;
+      st.rho_n <- 0;
+      let basis = Array.make cap (-1) in
+      Array.blit st.basis 0 basis 0 st.m;
+      st.basis <- basis;
+      let arows = Array.init cap (fun _ -> R.create ~cap:1 ()) in
+      Array.blit st.arows 0 arows 0 st.m;
+      st.arows <- arows
+    end
+
+  let refactor_lu st =
+    Lu.refactor st.lu ~m:st.m ~col:(fun k -> R.raw st.cols.(st.basis.(k)));
+    st.refactors <- st.refactors + 1
+
+  (* Pattern-aware solves: callers stage the right-hand side's support
+     in [w_pat]/[rho_pat]; the LU solve leaves the result's support
+     there. *)
+  let ftran st =
+    st.w_n <- Lu.ftran_pat st.lu st.w st.w_pat st.w_n;
+    st.ftran_nnz <- st.ftran_nnz + st.w_n
+
+  let btran st =
+    st.rho_n <- Lu.btran_pat st.lu st.rho st.rho_pat st.rho_n;
+    st.btran_nnz <- st.btran_nnz + st.rho_n
+
+  (* Seed rho := e_ip (clearing the previous support) and BTRAN. *)
+  let btran_unit st ip =
+    for s = 0 to st.rho_n - 1 do
+      st.rho.(st.rho_pat.(s)) <- 0.0
+    done;
+    st.rho.(ip) <- 1.0;
+    st.rho_pat.(0) <- ip;
+    st.rho_n <- 1;
+    btran st
+
+  (* Load column [jq] into the workspace and solve B w = A_jq. *)
+  let ftran_col st jq =
+    for s = 0 to st.w_n - 1 do
+      st.w.(st.w_pat.(s)) <- 0.0
+    done;
+    let idx, v, n = R.raw st.cols.(jq) in
+    for s = 0 to n - 1 do
+      st.w.(idx.(s)) <- v.(s);
+      st.w_pat.(s) <- idx.(s)
+    done;
+    st.w_n <- n;
+    ftran st
+
+  let compute_xb st =
+    (* dense rhs: the blit wipes the previous support, so rescan *)
+    Array.blit st.b0 0 st.w 0 st.m;
+    let n = ref 0 in
+    for i = 0 to st.m - 1 do
+      if st.w.(i) <> 0.0 then begin
+        st.w_pat.(!n) <- i;
+        incr n
+      end
+    done;
+    st.w_n <- !n;
+    ftran st;
+    for i = 0 to st.m - 1 do
+      let v = st.w.(i) in
+      st.xb.(i) <- (if v < 0.0 && v > -.Tol.rhs_snap then 0.0 else v)
+    done
+
+  let cost st j =
+    if st.in_phase1 then if is_artificial st j then 1.0 else 0.0
+    else st.cost2.(j)
+
+  (* Reprice everything from scratch: y = B^-T c_B, then
+     d_j = c_j - y . A_j over stored column nonzeros (O(nnz A)). *)
+  let price st =
+    (* dense basic-cost vector overwrites the previous support *)
+    let n = ref 0 in
+    for i = 0 to st.m - 1 do
+      let c = cost st st.basis.(i) in
+      st.rho.(i) <- c;
+      if c <> 0.0 then begin
+        st.rho_pat.(!n) <- i;
+        incr n
+      end
+    done;
+    st.rho_n <- !n;
+    btran st;
+    for j = 0 to st.width - 1 do
+      if st.pos_of.(j) >= 0 then st.dj.(j) <- 0.0
+      else st.dj.(j) <- cost st j -. R.dot st.cols.(j) st.rho
+    done
+
+  (* Refactorize and rebuild xb and dj from scratch; also the recovery
+     path after an unstable pivot. Raises {!Lu.Singular}. *)
+  let refresh st =
+    refactor_lu st;
+    compute_xb st;
+    price st;
+    st.cand_n <- 0
+
+  (* Warm-resolve variant: appended rows extend the basis
+     block-triangularly ([[B 0] [C I]], new slacks basic), so the old
+     duals are unchanged and the new slacks price to zero — the carried
+     reduced costs are already exact and the O(width) reprice can be
+     skipped. Only the factorization and the primal values must be
+     rebuilt at the grown dimension. *)
+  let refresh_keep_dj st =
+    refactor_lu st;
+    compute_xb st;
+    st.cand_n <- 0
+
+  (* rho := B^-T e_ip, then alpha := rho^T A gathered over the rows rho
+     touches; [alpha_sup] records the sparse support. *)
+  let pivot_row st ip =
+    clear_alpha st;
+    btran_unit st ip;
+    for s = 0 to st.rho_n - 1 do
+      let i = st.rho_pat.(s) in
+      let ri = Array.unsafe_get st.rho i in
+      if ri <> 0.0 then begin
+        let idx, v, n = R.raw st.arows.(i) in
+        for e = 0 to n - 1 do
+          let j = Array.unsafe_get idx e in
+          let a = ri *. Array.unsafe_get v e in
+          if Bytes.unsafe_get st.alpha_mark j = '\000' then begin
+            Bytes.unsafe_set st.alpha_mark j '\001';
+            Array.unsafe_set st.alpha_sup st.alpha_n j;
+            st.alpha_n <- st.alpha_n + 1;
+            Array.unsafe_set st.alpha j a
+          end
+          else
+            Array.unsafe_set st.alpha j (Array.unsafe_get st.alpha j +. a)
+        done
+      end
+    done
+
+  (* Reduced-cost and Devex updates for a primal pivot: entering [jq]
+     replaces basis position [ip]. Needs the FTRAN'd entering column
+     still in [w]. The pivot row [alpha] is gathered over the rows the
+     hypersparse BTRAN actually touched — O(support * row nnz), not
+     O(nnz A) — so every nonbasic reduced cost stays exact and
+     {!entering}'s optimality verdict needs no reprice. *)
+  let update_primal st ip jq =
+    let jl = st.basis.(ip) in
+    let aq = st.w.(ip) in
+    let t = st.dj.(jq) /. aq in
+    let wq = Float.max st.devex.(jq) 1.0 in
+    pivot_row st ip;
+    for s = 0 to st.alpha_n - 1 do
+      let j = Array.unsafe_get st.alpha_sup s in
+      if Array.unsafe_get st.pos_of j < 0 && j <> jq then begin
+        let a = Array.unsafe_get st.alpha j in
+        if a <> 0.0 then begin
+          Array.unsafe_set st.dj j (Array.unsafe_get st.dj j -. (t *. a));
+          let r = a /. aq in
+          let c = r *. r *. wq in
+          if c > Array.unsafe_get st.devex j then
+            Array.unsafe_set st.devex j c
+        end
+      end
+    done;
+    st.dj.(jl) <- -.t;
+    st.dj.(jq) <- 0.0;
+    st.devex.(jl) <- Float.max (wq /. (aq *. aq)) 1.0;
+    if st.devex.(jl) > Tol.devex_reset || wq > Tol.devex_reset then begin
+      Array.fill st.devex 0 st.width 1.0;
+      st.devex_resets <- st.devex_resets + 1
+    end
+
+  (* Commit the basis change: step the basic values along the FTRAN'd
+     column, append the eta, swap the basis bookkeeping. *)
+  let commit st ip jq theta =
+    for s = 0 to st.w_n - 1 do
+      let i = Array.unsafe_get st.w_pat s in
+      if i <> ip then begin
+        let wi = Array.unsafe_get st.w i in
+        if wi <> 0.0 then begin
+          let v = Array.unsafe_get st.xb i -. (theta *. wi) in
+          Array.unsafe_set st.xb i
+            (if v < 0.0 && v > -.Tol.rhs_snap then 0.0 else v)
+        end
+      end
+    done;
+    st.xb.(ip) <- theta;
+    let e0 = Lu.eta_entries st.lu in
+    Lu.update_pat st.lu ~r:ip ~w:st.w ~pat:st.w_pat ~n:st.w_n;
+    st.eta_app <- st.eta_app + (Lu.eta_entries st.lu - e0);
+    let jl = st.basis.(ip) in
+    st.basis.(ip) <- jq;
+    st.pos_of.(jq) <- ip;
+    st.pos_of.(jl) <- -1;
+    st.pivots <- st.pivots + 1
+
+  (* Artificials never (re-)enter: once nonbasic they are fixed at 0. *)
+  let eligible st j =
+    st.dj.(j) < -.eps && st.pos_of.(j) < 0 && not (is_artificial st j)
+
+  let score st j =
+    let d = st.dj.(j) in
+    d *. d /. st.devex.(j)
+
+  (* Full pricing scan retaining the [cand_cap] best Devex scores. *)
+  let refresh_cands st =
+    st.cand_refreshes <- st.cand_refreshes + 1;
+    st.cand_n <- 0;
+    let worst = ref 0 and worst_s = ref infinity in
+    let recompute_worst () =
+      worst_s := infinity;
+      for s = 0 to st.cand_n - 1 do
+        let v = score st st.cand.(s) in
+        if v < !worst_s then begin
+          worst := s;
+          worst_s := v
+        end
+      done
+    in
+    for j = 0 to st.width - 1 do
+      if eligible st j then
+        if st.cand_n < cand_cap then begin
+          st.cand.(st.cand_n) <- j;
+          st.cand_n <- st.cand_n + 1;
+          if st.cand_n = cand_cap then recompute_worst ()
+        end
+        else if score st j > !worst_s then begin
+          st.cand.(!worst) <- j;
+          recompute_worst ()
+        end
+    done
+
+  (* Entering column: best current Devex score among the cached
+     candidates (compacting out entries that went basic or lost
+     eligibility); a full rescan only when the list runs dry. Bland's
+     lowest-index rule takes over on long degenerate runs. *)
+  let entering st =
+    if st.degenerate_run > 100 then begin
+      let rec first j =
+        if j >= st.width then None
+        else if eligible st j then Some j
+        else first (j + 1)
+      in
+      first 0
+    end
+    else begin
+      let pick () =
+        let best = ref (-1) and best_score = ref 0.0 in
+        let w = ref 0 in
+        for s = 0 to st.cand_n - 1 do
+          let j = st.cand.(s) in
+          if eligible st j then begin
+            st.cand.(!w) <- j;
+            incr w;
+            let v = score st j in
+            if v > !best_score then begin
+              best := j;
+              best_score := v
+            end
+          end
+        done;
+        st.cand_n <- !w;
+        !best
+      in
+      let b = pick () in
+      if b >= 0 then begin
+        st.cand_hits <- st.cand_hits + 1;
+        Some b
+      end
+      else begin
+        (* Candidate list ran dry: rescan (reduced costs are exact). *)
+        refresh_cands st;
+        let b = pick () in
+        if b >= 0 then Some b else None
+      end
+    end
+
+  (* Harris two-pass ratio test on the FTRAN'd column; see
+     {!Dense.leaving} for the rationale. One extra rule: a row holding a
+     basic artificial at (numerical) zero whose coefficient is negative
+     is eligible at ratio 0 - the exchange drives the artificial out
+     nonbasic instead of letting its value grow. *)
+  let leaving st =
+    let art_kick st i a =
+      a < -.eps && st.xb.(i) <= feas_tol && is_artificial st st.basis.(i)
+    in
+    let theta = ref infinity in
+    for s = 0 to st.w_n - 1 do
+      let i = Array.unsafe_get st.w_pat s in
+      let a = Array.unsafe_get st.w i in
+      if a > eps then begin
+        let ratio = Float.max st.xb.(i) 0.0 /. a in
+        if ratio < !theta then theta := ratio
+      end
+      else if art_kick st i a then theta := 0.0
+    done;
+    if !theta = infinity then None
+    else begin
+      let lim = !theta +. (Tol.harris_rel *. (1.0 +. !theta)) in
+      let best = ref (-1) and best_piv = ref 0.0 in
+      for s = 0 to st.w_n - 1 do
+        let i = Array.unsafe_get st.w_pat s in
+        let a = Array.unsafe_get st.w i in
+        let mag, ratio =
+          if a > eps then (a, Float.max st.xb.(i) 0.0 /. a)
+          else if art_kick st i a then (-.a, 0.0)
+          else (0.0, infinity)
+        in
+        if mag > 0.0 then
+          if ratio <= lim then begin
+            if
+              mag > !best_piv
+              || (mag = !best_piv && !best >= 0
+                 && st.basis.(i) < st.basis.(!best))
+            then begin
+              best := i;
+              best_piv := mag
+            end
+          end
+          else st.harris_rej <- st.harris_rej + 1
+      done;
+      let i = !best in
+      let ratio =
+        if st.w.(i) > 0.0 then Float.max st.xb.(i) 0.0 /. st.w.(i) else 0.0
+      in
+      Some (i, ratio)
+    end
+
+  (* [~certify] is a drift guard for callers that reach this loop with
+     incrementally-maintained reduced costs (the warm-resolve cleanup,
+     whose dual sweep refactorizes without repricing): a claimed optimum
+     is only trusted after one fresh O(nnz A) reprice confirms no
+     candidate reappears. The cold path repricess at every phase start
+     and eta-threshold refactorization, so it skips the check. *)
+  let run_phase st ~max_pivots ?(certify = false) () =
+    let rec loop certified =
+      if st.pivots >= max_pivots then Phase_limit
+      else begin
+        match entering st with
+        | None ->
+          if certified then Phase_optimal
+          else begin
+            price st;
+            st.cand_n <- 0;
+            loop true
+          end
+        | Some jq -> begin
+            ftran_col st jq;
+            match leaving st with
+            | None -> Phase_unbounded
+            | Some (ip, ratio) ->
+              if
+                Float.abs st.w.(ip) < Tol.lu_unstable
+                && Lu.eta_count st.lu > 0
+              then begin
+                (* Pivot too small to trust through the eta file:
+                   refactorize and retry the iteration. *)
+                refresh st;
+                loop false
+              end
+              else begin
+                if ratio < Tol.degenerate_ratio then begin
+                  st.degenerate_run <- st.degenerate_run + 1;
+                  st.degen <- st.degen + 1
+                end
+                else st.degenerate_run <- 0;
+                if st.xb.(ip) < 0.0 then st.xb.(ip) <- 0.0;
+                update_primal st ip jq;
+                commit st ip jq ratio;
+                (* Full refresh, not [refresh_keep_dj]: resealing dj
+                   drift here keeps Devex honest on long degenerate
+                   runs — skipping the reprice inflates the dualized
+                   LP's pivot count by ~30%. *)
+                if Lu.needs_refactor st.lu then refresh st;
+                loop false
+              end
+          end
+      end
+    in
+    loop (not certify)
+
+  (* Phase-1 residual: total value still sitting on basic artificials. *)
+  let art_residual st =
+    let s = ref 0.0 in
+    for i = 0 to st.m - 1 do
+      if is_artificial st st.basis.(i) then s := !s +. Float.max st.xb.(i) 0.0
+    done;
+    !s
+
+  (* Pivot basic-at-zero artificials out on any usable real column (a
+     degenerate ratio-0 exchange). A row with no usable entry is
+     redundant: its artificial stays basic at zero and, because the
+     pivot row is zero over real columns, never interferes again. *)
+  let purge_artificials st =
+    for ip = 0 to st.m - 1 do
+      if is_artificial st st.basis.(ip) then begin
+        pivot_row st ip;
+        let jq = ref (-1) in
+        for s = 0 to st.alpha_n - 1 do
+          let j = st.alpha_sup.(s) in
+          if
+            st.pos_of.(j) < 0
+            && (not (is_artificial st j))
+            && Float.abs st.alpha.(j) > Tol.purge
+            && (!jq < 0 || j < !jq)
+          then jq := j
+        done;
+        if !jq >= 0 then begin
+          ftran_col st !jq;
+          if Float.abs st.w.(ip) > Tol.lu_singular then begin
+            st.xb.(ip) <- 0.0;
+            commit st ip !jq 0.0;
+            if Lu.needs_refactor st.lu then refresh st
+          end
+        end
+      end
+    done
+
+  let build ?max_pivots ~obj ~rows ~cmps ~rhs () =
+    let n = Array.length obj in
+    let m = Array.length rows in
+    let scaled_rows, cmps, b0, n_slack, needs_art, n_art, col_scale =
+      prepare ~n ~rows ~cmps ~rhs
+    in
+    let width = n + n_slack + n_art in
+    let cap_w = Int.max width 1 and cap_m = Int.max m 1 in
+    let st =
+      {
+        n_struct = n;
+        art_lo = n + n_slack;
+        art_hi = width;
+        budget = (match max_pivots with Some k -> k | None -> default_budget m n);
+        obj = Array.copy obj;
+        col_scale;
+        lu = Lu.create ();
+        m;
+        width;
+        cols = Array.init cap_w (fun _ -> R.create ~cap:4 ());
+        arows = Array.init cap_m (fun _ -> R.create ~cap:1 ());
+        b0 = (let b = Array.make cap_m 0.0 in Array.blit b0 0 b 0 m; b);
+        basis = Array.make cap_m (-1);
+        pos_of = Array.make cap_w (-1);
+        xb = Array.make cap_m 0.0;
+        dj = Array.make cap_w 0.0;
+        cost2 = Array.make cap_w 0.0;
+        devex = Array.make cap_w 1.0;
+        w = Array.make cap_m 0.0;
+        w_pat = Array.make cap_m 0;
+        w_n = 0;
+        rho = Array.make cap_m 0.0;
+        rho_pat = Array.make cap_m 0;
+        rho_n = 0;
+        alpha = Array.make cap_w 0.0;
+        alpha_mark = Bytes.make cap_w '\000';
+        alpha_sup = Array.make cap_w 0;
+        alpha_n = 0;
+        cand = Array.make cand_cap 0;
+        cand_n = 0;
+        in_phase1 = n_art > 0;
+        pivots = 0;
+        degenerate_run = 0;
+        degen = 0;
+        harris_rej = 0;
+        devex_resets = 0;
+        refactors = 0;
+        eta_app = 0;
+        ftran_nnz = 0;
+        btran_nnz = 0;
+        cand_hits = 0;
+        cand_refreshes = 0;
+        valid = false;
+      }
+    in
+    for j = 0 to n - 1 do
+      st.cost2.(j) <- obj.(j) *. col_scale.(j)
+    done;
+    let next_slack = ref n and next_art = ref (n + n_slack) in
+    for i = 0 to m - 1 do
+      let idx, coef = scaled_rows.(i) in
+      let arow = R.of_pairs idx coef in
+      (* Mirror the (duplicate-merged) row into the column store; row
+         index [i] is the highest so far, so [R.set] appends. *)
+      R.iter (fun j v -> R.set st.cols.(j) i v) arow;
+      (match cmps.(i) with
+      | Le ->
+        R.set arow !next_slack 1.0;
+        R.set st.cols.(!next_slack) i 1.0;
+        st.basis.(i) <- !next_slack;
+        st.pos_of.(!next_slack) <- i;
+        incr next_slack
+      | Ge ->
+        R.set arow !next_slack (-1.0);
+        R.set st.cols.(!next_slack) i (-1.0);
+        incr next_slack
+      | Eq -> ());
+      if needs_art.(i) then begin
+        R.set arow !next_art 1.0;
+        R.set st.cols.(!next_art) i 1.0;
+        st.basis.(i) <- !next_art;
+        st.pos_of.(!next_art) <- i;
+        incr next_art
+      end;
+      st.arows.(i) <- arow
+    done;
+    st
+
+  let fail st status =
+    { status; x = Array.make st.n_struct 0.0; objective = 0.0; pivots = st.pivots }
+
+  let extract st =
+    let n = st.n_struct in
+    let x = Array.make n 0.0 in
+    for i = 0 to st.m - 1 do
+      let j = st.basis.(i) in
+      if j < n then x.(j) <- st.xb.(i) *. st.col_scale.(j)
+    done;
+    let objective = ref 0.0 in
+    Array.iteri (fun j c -> objective := !objective +. (c *. x.(j))) st.obj;
+    { status = Optimal; x; objective = !objective; pivots = st.pivots }
+
+  let record_rev_delta st ~refac0 ~eta0 ~ft0 ~bt0 ~hits0 ~refr0 =
+    Obs.record_rev ~refactors:(st.refactors - refac0)
+      ~eta:(st.eta_app - eta0) ~ftran:(st.ftran_nnz - ft0)
+      ~btran:(st.btran_nnz - bt0) ~hits:(st.cand_hits - hits0)
+      ~refreshes:(st.cand_refreshes - refr0)
+
+  let first_solve st =
+    T.with_span "lp.rev.solve"
+      ~attrs:[ ("rows", T.Int st.m); ("cols", T.Int st.width) ]
+    @@ fun () ->
+    let max_pivots = st.budget in
+    let elapsed = R3_util.Timer.stopwatch () in
+    let p1 = ref 0 in
+    let finish out =
+      Obs.record_solve ~pivots:st.pivots ~p1:!p1 ~degen:st.degen
+        ~harris:st.harris_rej ~resets:st.devex_resets ~dt:(elapsed ());
+      record_rev_delta st ~refac0:0 ~eta0:0 ~ft0:0 ~bt0:0 ~hits0:0 ~refr0:0;
+      T.add_attr "pivots" (T.Int st.pivots);
+      T.add_attr "refactorizations" (T.Int st.refactors);
+      out
+    in
+    (* Initial basis is slacks + artificials: B = I, trivially factored. *)
+    refresh st;
+    let phase1 =
+      if not st.in_phase1 then Phase_optimal else run_phase st ~max_pivots ()
+    in
+    p1 := st.pivots;
+    match phase1 with
+    | Phase_limit -> finish (fail st Iteration_limit)
+    | Phase_unbounded -> finish (fail st Infeasible)
+    | Phase_optimal ->
+      if st.in_phase1 && art_residual st > feas_tol then
+        finish (fail st Infeasible)
+      else begin
+        st.in_phase1 <- false;
+        purge_artificials st;
+        st.degenerate_run <- 0;
+        st.cand_n <- 0;
+        price st;
+        match run_phase st ~max_pivots () with
+        | Phase_limit -> finish (fail st Iteration_limit)
+        | Phase_unbounded -> finish (fail st Unbounded)
+        | Phase_optimal ->
+          st.valid <- true;
+          finish (extract st)
+      end
+
+  (* Append [lhs <= rhs] with a fresh basic slack. Unlike the tableau
+     backend nothing is eliminated against the basis: the revised method
+     works off original rows, so appending is O(nnz row). The
+     factorization is stale afterwards; {!resolve} refactorizes first. *)
+  let append_le st (idx, coef) rhs =
+    let coef = Array.mapi (fun t c -> c *. st.col_scale.(idx.(t))) coef in
+    let scale = Array.fold_left (fun a c -> Float.max a (Float.abs c)) 0.0 coef in
+    let scale = if scale > 0.0 then scale else 1.0 in
+    let k = 1.0 /. scale in
+    Array.iteri (fun t c -> coef.(t) <- c *. k) coef;
+    grow_cols st 1;
+    grow_rows st 1;
+    let s = st.width and i = st.m in
+    st.width <- st.width + 1;
+    st.m <- st.m + 1;
+    let arow = R.of_pairs idx coef in
+    R.iter (fun j v -> R.set st.cols.(j) i v) arow;
+    R.set arow s 1.0;
+    st.arows.(i) <- arow;
+    st.cols.(s) <- R.of_pairs [| i |] [| 1.0 |];
+    st.cost2.(s) <- 0.0;
+    st.dj.(s) <- 0.0;
+    st.devex.(s) <- 1.0;
+    st.b0.(i) <- rhs *. k;
+    st.basis.(i) <- s;
+    st.pos_of.(s) <- i;
+    st.xb.(i) <- 0.0
+
+  let add_row st (idx, coef) cmp rhs =
+    match cmp with
+    | Le -> append_le st (idx, coef) rhs
+    | Ge -> append_le st (idx, Array.map Float.neg coef) (-.rhs)
+    | Eq ->
+      append_le st (idx, coef) rhs;
+      append_le st (idx, Array.map Float.neg coef) (-.rhs)
+
+  (* Warm re-solve after appended rows: refactorize (the dimension
+     changed) and reprice - the previous optimum keeps every reduced
+     cost >= 0, so the state is dual feasible - then repair primal
+     feasibility with dual-simplex pivots through the carried-over
+     factorization and finish with a primal cleanup phase. *)
+  let resolve st =
+    T.with_span "lp.rev.resolve"
+      ~attrs:[ ("rows", T.Int st.m); ("cols", T.Int st.width) ]
+    @@ fun () ->
+    let elapsed = R3_util.Timer.stopwatch () in
+    let pivots0 = st.pivots and degen0 = st.degen in
+    let harris0 = st.harris_rej and resets0 = st.devex_resets in
+    let refac0 = st.refactors and eta0 = st.eta_app in
+    let ft0 = st.ftran_nnz and bt0 = st.btran_nnz in
+    let hits0 = st.cand_hits and refr0 = st.cand_refreshes in
+    let dual = ref 0 in
+    let finish out =
+      Obs.record_resolve ~pivots:(st.pivots - pivots0) ~dual:!dual
+        ~degen:(st.degen - degen0) ~harris:(st.harris_rej - harris0)
+        ~resets:(st.devex_resets - resets0) ~dt:(elapsed ());
+      record_rev_delta st ~refac0 ~eta0 ~ft0 ~bt0 ~hits0 ~refr0;
+      out
+    in
+    if not st.valid then finish (fail st Iteration_limit)
+    else begin
+      st.valid <- false;
+      st.in_phase1 <- false;
+      st.degenerate_run <- 0;
+      let result =
+        try
+          refresh_keep_dj st;
+          let limit = st.pivots + st.budget in
+          let rec dual_loop () =
+            if st.pivots >= limit then Phase_limit
+            else begin
+              let ip = ref (-1) and bmin = ref (-.Tol.dual_feas) in
+              for i = 0 to st.m - 1 do
+                (* Rows still holding a basic artificial are redundant
+                   (see {!purge_artificials}): their value is zero up to
+                   drift and their pivot row has no usable entry, so
+                   selecting one would misreport dual unboundedness. *)
+                if st.xb.(i) < !bmin && not (is_artificial st st.basis.(i))
+                then begin
+                  ip := i;
+                  bmin := st.xb.(i)
+                end
+              done;
+              if !ip < 0 then Phase_optimal
+              else begin
+                let ip = !ip in
+                pivot_row st ip;
+                let jq = ref (-1) and best = ref infinity and best_a = ref 0.0 in
+                for s = 0 to st.alpha_n - 1 do
+                  let j = st.alpha_sup.(s) in
+                  let a = st.alpha.(j) in
+                  if a < -.eps && st.pos_of.(j) < 0 && not (is_artificial st j)
+                  then begin
+                    let ratio = st.dj.(j) /. -.a in
+                    if
+                      ratio < !best -. Tol.dual_ratio_tie
+                      || (ratio < !best +. Tol.dual_ratio_tie
+                         && Float.abs a > Float.abs !best_a)
+                    then begin
+                      jq := j;
+                      best := ratio;
+                      best_a := a
+                    end
+                  end
+                done;
+                if !jq < 0 then
+                  Phase_unbounded (* dual unbounded = primal infeasible *)
+                else begin
+                  let jq = !jq in
+                  ftran_col st jq;
+                  let aq = st.w.(ip) in
+                  if Float.abs aq < Tol.lu_unstable && Lu.eta_count st.lu > 0
+                  then begin
+                    refresh st;
+                    dual_loop ()
+                  end
+                  else if aq >= -.eps then
+                    (* FTRAN disagrees with the BTRAN'd row even on a
+                       fresh factorization: give up on the warm state. *)
+                    Phase_limit
+                  else begin
+                    let t = st.dj.(jq) /. -.aq in
+                    let jl = st.basis.(ip) in
+                    for s = 0 to st.alpha_n - 1 do
+                      let j = st.alpha_sup.(s) in
+                      if st.pos_of.(j) < 0 && j <> jq then
+                        st.dj.(j) <- st.dj.(j) +. (t *. st.alpha.(j))
+                    done;
+                    st.dj.(jl) <- t;
+                    st.dj.(jq) <- 0.0;
+                    let theta = st.xb.(ip) /. aq in
+                    if theta < Tol.degenerate_ratio then begin
+                      st.degenerate_run <- st.degenerate_run + 1;
+                      st.degen <- st.degen + 1
+                    end
+                    else st.degenerate_run <- 0;
+                    commit st ip jq theta;
+                    if Lu.needs_refactor st.lu then refresh_keep_dj st;
+                    dual_loop ()
+                  end
+                end
+              end
+            end
+          in
+          let out = dual_loop () in
+          dual := st.pivots - pivots0;
+          (match out with
+          | Phase_limit -> `Fail Iteration_limit
+          | Phase_unbounded -> `Fail Infeasible
+          | Phase_optimal -> begin
+            (* Primal cleanup: repair residual negative reduced costs. *)
+            st.cand_n <- 0;
+            match run_phase st ~max_pivots:(st.pivots + st.budget)
+                    ~certify:true ()
+            with
+            | Phase_limit -> `Fail Iteration_limit
+            | Phase_unbounded -> `Fail Unbounded
+            | Phase_optimal -> `Ok
+          end)
+        with Lu.Singular -> `Fail Iteration_limit
+      in
+      match result with
+      | `Ok ->
+        st.valid <- true;
+        finish (extract st)
+      | `Fail status -> finish (fail st status)
+    end
+end
+
 let solve ?(backend = `Sparse) ?max_pivots ~obj ~rows ~cmps ~rhs () =
   match backend with
   | `Dense -> Dense.solve ?max_pivots ~obj ~rows ~cmps ~rhs ()
   | `Sparse ->
     let st = Sp.build ?max_pivots ~obj ~rows ~cmps ~rhs () in
     Sp.first_solve st
+  | `Revised -> (
+    try
+      let st = Rev.build ?max_pivots ~obj ~rows ~cmps ~rhs () in
+      Rev.first_solve st
+    with Lu.Singular ->
+      (* Numerically singular basis mid-solve: the tableau backend
+         pivots through such bases, so retry there. *)
+      R3_util.Metrics.incr Obs.rev_fallbacks;
+      let st = Sp.build ?max_pivots ~obj ~rows ~cmps ~rhs () in
+      Sp.first_solve st)
 
 module Session = struct
-  type t = { st : Sp.state; mutable last : outcome }
+  type engine = Tab of Sp.state | Rev of Rev.state
+  type t = { eng : engine; mutable last : outcome }
 
-  let create ?max_pivots ~obj ~rows ~cmps ~rhs () =
-    let st = Sp.build ?max_pivots ~obj ~rows ~cmps ~rhs () in
-    let last = Sp.first_solve st in
-    { st; last }
+  let create ?(backend = `Sparse) ?max_pivots ~obj ~rows ~cmps ~rhs () =
+    match backend with
+    | `Dense | `Sparse ->
+      let st = Sp.build ?max_pivots ~obj ~rows ~cmps ~rhs () in
+      { eng = Tab st; last = Sp.first_solve st }
+    | `Revised -> (
+      try
+        let st = Rev.build ?max_pivots ~obj ~rows ~cmps ~rhs () in
+        let last = Rev.first_solve st in
+        { eng = Rev st; last }
+      with Lu.Singular ->
+        R3_util.Metrics.incr Obs.rev_fallbacks;
+        let st = Sp.build ?max_pivots ~obj ~rows ~cmps ~rhs () in
+        { eng = Tab st; last = Sp.first_solve st })
 
   let outcome s = s.last
-  let add_row s row cmp rhs = Sp.add_row s.st row cmp rhs
+
+  let add_row s row cmp rhs =
+    match s.eng with
+    | Tab st -> Sp.add_row st row cmp rhs
+    | Rev st -> Rev.add_row st row cmp rhs
 
   let resolve s =
-    let o = Sp.resolve s.st in
+    let o =
+      match s.eng with Tab st -> Sp.resolve st | Rev st -> Rev.resolve st
+    in
     s.last <- o;
     o
 
-  let pivots s = s.st.Sp.pivots
-  let warm_ok s = s.st.Sp.valid
+  let pivots s =
+    match s.eng with Tab st -> st.Sp.pivots | Rev st -> st.Rev.pivots
+
+  let warm_ok s =
+    match s.eng with Tab st -> st.Sp.valid | Rev st -> st.Rev.valid
+
+  let refactorizations s =
+    match s.eng with Tab _ -> 0 | Rev st -> st.Rev.refactors
 end

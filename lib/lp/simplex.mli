@@ -10,16 +10,21 @@
     equilibrated (scaled by their max absolute coefficient) for numerical
     robustness.
 
-    Two interchangeable backends share this pivoting discipline:
+    Three interchangeable backends share this pivoting discipline:
 
+    - [`Revised] holds the basis as a sparse LU factorization ({!Lu})
+      instead of a pivoted tableau: each iteration is one BTRAN (pivot
+      row), one FTRAN (entering column) and an eta-file append, so
+      per-pivot work scales with the touched nonzeros, not the total
+      column count. Pricing is Devex over a cached candidate list. This
+      is the fast path for large constraint-generation workloads.
     - [`Sparse] (default) keeps every tableau row as a {!Sparse.t}; pivots,
       cost-row eliminations and Devex updates run in O(nnz) rather than
-      O(columns). R3's constraint rows carry a handful of nonzeros out of
-      thousands of columns, so this is the production path.
+      O(columns), but every pivot still rewrites all rows.
     - [`Dense] is the original full-tableau implementation, kept as the
       reference oracle for tests and benchmarks.
 
-    Both backends return the same statuses and (within numerical tolerance)
+    All backends return the same statuses and (within numerical tolerance)
     the same objectives. *)
 
 type cmp = Le | Ge | Eq
@@ -37,7 +42,7 @@ type outcome = {
   pivots : int;  (** total pivot count across both phases *)
 }
 
-type backend = [ `Dense | `Sparse ]
+type backend = [ `Dense | `Sparse | `Revised ]
 
 (** [solve ~obj ~rows ~cmps ~rhs] where [rows.(i)] is the sparse row
     [(indices, coefficients)] of constraint [i]. All variable indices must
@@ -53,22 +58,30 @@ val solve :
   unit ->
   outcome
 
-(** Warm-startable solver handle (sparse backend only).
+(** Warm-startable solver handle.
 
     {!Session.create} runs the full two-phase solve once; {!Session.add_row}
-    then appends constraints to the factorized tableau (each new row is
-    expressed over the current basis and given its own slack), and
-    {!Session.resolve} restores primal feasibility with dual-simplex pivots
-    instead of re-solving from scratch - the classic cutting-plane
-    work-loop. Pivot counts accumulate across the session, so
-    [pivots (resolve s)] is the total effort since [create]. *)
+    then appends constraints, and {!Session.resolve} restores primal
+    feasibility with dual-simplex pivots instead of re-solving from
+    scratch - the classic cutting-plane work-loop. On the [`Sparse]
+    tableau engine each new row is expressed over the current basis and
+    given its own slack; on [`Revised] the appended row keeps its
+    original coefficients and the carried-over LU factorization is
+    refreshed at the next {!resolve}. Pivot counts accumulate across the
+    session, so [pivots (resolve s)] is the total effort since
+    [create]. *)
 module Session : sig
   type t
 
-  (** Build the tableau and run the initial two-phase solve; the result is
-      available via {!outcome}. [max_pivots] is the pivot budget for the
-      initial solve and for each subsequent {!resolve}. *)
+  (** Build the solver state and run the initial two-phase solve; the
+      result is available via {!outcome}. [backend] picks the engine
+      ([`Dense] maps to the [`Sparse] tableau; default [`Sparse]) - a
+      [`Revised] session whose basis turns out numerically singular
+      falls back to the tableau engine transparently. [max_pivots] is
+      the pivot budget for the initial solve and for each subsequent
+      {!resolve}. *)
   val create :
+    ?backend:backend ->
     ?max_pivots:int ->
     obj:float array ->
     rows:(int array * float array) array ->
@@ -96,4 +109,7 @@ module Session : sig
 
   (** Whether the session can warm-restart (last solve ended [Optimal]). *)
   val warm_ok : t -> bool
+
+  (** Basis refactorizations so far; 0 on the tableau engine. *)
+  val refactorizations : t -> int
 end

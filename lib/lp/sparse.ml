@@ -1,14 +1,15 @@
 (* The simplex-tableau sparse row is the shared [R3_util.Rowvec] kernel
-   instantiated with a 1e-14 drop tolerance: long pivot sequences need
-   fill-in bounded, and after row equilibration every coefficient is O(1)
-   so the tolerance never disturbs a meaningful entry. The routing
-   substrate uses the same kernels with drop = 0.0 (bit-exactness). *)
+   instantiated with the [Tol.sparse_drop] drop tolerance: long pivot
+   sequences need fill-in bounded, and after row equilibration every
+   coefficient is O(1) so the tolerance never disturbs a meaningful
+   entry. The routing substrate uses the same kernels with drop = 0.0
+   (bit-exactness). *)
 
 module R = R3_util.Rowvec
 
 type t = R.t
 
-let drop = 1e-14
+let drop = Tol.sparse_drop
 
 let create ?cap () = R.create ?cap ()
 

@@ -497,6 +497,44 @@ let test_parallel_oracle_deterministic () =
     (Routing.to_dense_matrix par.Offline.base
     = Routing.to_dense_matrix seq.Offline.base)
 
+(* The revised (LU) and sparse-tableau LP engines must drive constraint
+   generation to the same protected MLU: identical oracle, identical cut
+   policy, only the pivoting engine differs. Checked on the two bench
+   topologies (Abilene and the synthetic 36-link PoP). *)
+let test_cg_backend_agreement () =
+  let check_topo name g seed =
+    let rng = R3_util.Prng.create seed in
+    let tm = Traffic.gravity rng g ~load_factor:0.3 () in
+    let pairs, _ = Traffic.commodities tm in
+    let base =
+      R3_net.Ospf.routing g ~weights:(R3_net.Ospf.unit_weights g) ~pairs ()
+    in
+    let run backend =
+      let cfg =
+        {
+          (Offline.default_config ~f:1) with
+          solve_method = Offline.Constraint_gen;
+          lp_backend = backend;
+        }
+      in
+      plan_exn (Offline.compute cfg g tm (Offline.Fixed base))
+    in
+    let tab = run `Sparse and rev = run `Revised in
+    if
+      Float.abs (tab.Offline.mlu -. rev.Offline.mlu)
+      > 1e-9 *. (1.0 +. Float.abs tab.Offline.mlu)
+    then
+      Alcotest.failf "%s: tableau MLU %.12g vs revised MLU %.12g" name
+        tab.Offline.mlu rev.Offline.mlu;
+    if rev.Offline.lp_pivots <= 0 then
+      Alcotest.failf "%s: revised engine reports no pivots" name
+  in
+  check_topo "abilene" (Topology.abilene ()) 7;
+  check_topo "pop36"
+    (Topology.random ~seed:3 ~nodes:16 ~undirected_links:18
+       ~capacities:[ (100.0, 2.0); (400.0, 1.0) ] ())
+    21
+
 let suite =
   [
     Alcotest.test_case "virtual demand membership" `Quick test_virtual_demand_membership;
@@ -518,6 +556,8 @@ let suite =
     Alcotest.test_case "delay envelope tightness" `Quick test_delay_envelope_tightness;
     Alcotest.test_case "parallel oracle deterministic" `Quick
       test_parallel_oracle_deterministic;
+    Alcotest.test_case "CG backends agree (abilene, pop36)" `Quick
+      test_cg_backend_agreement;
     QCheck_alcotest.to_alcotest theorem1_prop;
     QCheck_alcotest.to_alcotest order_independence_prop;
   ]

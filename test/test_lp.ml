@@ -111,6 +111,21 @@ let test_degenerate () =
   | P.Infeasible -> Alcotest.fail "beale: reported infeasible"
   | P.Iteration_limit -> Alcotest.fail "beale: cycled to iteration limit"
 
+(* The revised (LU-factorized) backend must survive the same degeneracy
+   trap: Harris ratio test + Devex with the Bland fallback terminate. *)
+let test_degenerate_revised () =
+  let p = P.create () in
+  let x1 = P.var p "x1" and x2 = P.var p "x2" and x3 = P.var p "x3" in
+  P.constr p [ (0.25, x1); (-8.0, x2); (-1.0, x3) ] P.Le 0.0;
+  P.constr p [ (0.5, x1); (-12.0, x2); (-0.5, x3) ] P.Le 0.0;
+  P.constr p [ (1.0, x3) ] P.Le 1.0;
+  P.maximize p [ (0.75, x1); (-150.0, x2); (0.02, x3) ];
+  match P.solve ~backend:`Revised p with
+  | P.Optimal s -> check_close "objective" 0.77 s.P.objective
+  | P.Unbounded -> Alcotest.fail "beale/revised: reported unbounded"
+  | P.Infeasible -> Alcotest.fail "beale/revised: reported infeasible"
+  | P.Iteration_limit -> Alcotest.fail "beale/revised: cycled to iteration limit"
+
 let test_duplicate_terms () =
   let p = P.create () in
   let x = P.var p "x" in
@@ -228,11 +243,154 @@ let duality_prop =
       | P.Optimal sp, P.Optimal sd -> close ~tol:1e-5 sp.P.objective sd.P.objective
       | _ -> false)
 
+(* --- LU factorization engine vs a dense Gaussian reference ----------- *)
+
+module Lu = R3_lp.Lu
+module Prng = R3_util.Prng
+
+(* Dense partial-pivoting Gaussian elimination: the oracle the sparse
+   LU's FTRAN/BTRAN and eta file are checked against. *)
+let gauss_solve a b =
+  let m = Array.length b in
+  let a = Array.map Array.copy a and b = Array.copy b in
+  let perm = Array.init m (fun i -> i) in
+  for k = 0 to m - 1 do
+    let best = ref k in
+    for i = k + 1 to m - 1 do
+      if Float.abs a.(perm.(i)).(k) > Float.abs a.(perm.(!best)).(k) then
+        best := i
+    done;
+    let t = perm.(k) in
+    perm.(k) <- perm.(!best);
+    perm.(!best) <- t;
+    let p = a.(perm.(k)).(k) in
+    for i = k + 1 to m - 1 do
+      let f = a.(perm.(i)).(k) /. p in
+      if f <> 0.0 then begin
+        for j = k to m - 1 do
+          a.(perm.(i)).(j) <- a.(perm.(i)).(j) -. (f *. a.(perm.(k)).(j))
+        done;
+        b.(perm.(i)) <- b.(perm.(i)) -. (f *. b.(perm.(k)))
+      end
+    done
+  done;
+  let x = Array.make m 0.0 in
+  for k = m - 1 downto 0 do
+    let s = ref b.(perm.(k)) in
+    for j = k + 1 to m - 1 do
+      s := !s -. (a.(perm.(k)).(j) *. x.(j))
+    done;
+    x.(k) <- !s /. a.(perm.(k)).(k)
+  done;
+  x
+
+let mat_transpose a =
+  let m = Array.length a in
+  Array.init m (fun i -> Array.init m (fun j -> a.(j).(i)))
+
+let mat_col a k =
+  let m = Array.length a in
+  let idx = ref [] and v = ref [] in
+  for i = m - 1 downto 0 do
+    if a.(i).(k) <> 0.0 then begin
+      idx := i :: !idx;
+      v := a.(i).(k) :: !v
+    end
+  done;
+  (Array.of_list !idx, Array.of_list !v, List.length !idx)
+
+(* Well-conditioned sparse-ish test matrix: dominant diagonal plus ~30%
+   random off-diagonal fill. *)
+let random_matrix rng m =
+  Array.init m (fun i ->
+      Array.init m (fun j ->
+          if i = j then 1.0 +. Prng.uniform rng 0.0 2.0
+          else if Prng.uniform rng 0.0 1.0 < 0.3 then Prng.uniform rng (-2.0) 2.0
+          else 0.0))
+
+let check_vec label tol x y =
+  let err = ref 0.0 in
+  Array.iteri (fun i xi -> err := Float.max !err (Float.abs (xi -. y.(i)))) x;
+  if !err > tol then Alcotest.failf "%s: max err %.3e > %.1e" label !err tol
+
+(* Randomized FTRAN/BTRAN against the dense oracle, including eta-file
+   chains: after every basis-column replacement recorded via [update],
+   solves must still match a from-scratch dense solve of the replaced
+   matrix to 1e-9 (1e-8 after long eta chains). *)
+let test_lu_solves () =
+  let rng = Prng.create 7 in
+  for trial = 0 to 79 do
+    let m = 1 + Prng.int rng 28 in
+    let a = random_matrix rng m in
+    let lu = Lu.create () in
+    Lu.refactor lu ~m ~col:(fun k -> mat_col a k);
+    let b = Array.init m (fun _ -> Prng.uniform rng (-1.0) 1.0) in
+    let w = Array.copy b in
+    ignore (Lu.ftran lu w);
+    check_vec (Printf.sprintf "ftran m=%d trial=%d" m trial) 1e-9 w
+      (gauss_solve a b);
+    let c = Array.init m (fun _ -> Prng.uniform rng (-1.0) 1.0) in
+    let y = Array.copy c in
+    ignore (Lu.btran lu y);
+    check_vec (Printf.sprintf "btran m=%d trial=%d" m trial) 1e-9 y
+      (gauss_solve (mat_transpose a) c);
+    (* Eta chain: replace a few columns, keeping pivots comfortable. *)
+    for _s = 1 to 1 + Prng.int rng 8 do
+      let r = Prng.int rng m in
+      let col =
+        Array.init m (fun _ ->
+            if Prng.uniform rng 0.0 1.0 < 0.4 then Prng.uniform rng (-2.0) 2.0
+            else 0.0)
+      in
+      let w = Array.copy col in
+      ignore (Lu.ftran lu w);
+      if Float.abs w.(r) > 0.1 then begin
+        Lu.update lu ~r ~w;
+        for i = 0 to m - 1 do
+          a.(i).(r) <- col.(i)
+        done
+      end
+    done;
+    let b2 = Array.init m (fun _ -> Prng.uniform rng (-1.0) 1.0) in
+    let w2 = Array.copy b2 in
+    ignore (Lu.ftran lu w2);
+    check_vec (Printf.sprintf "eta-ftran m=%d trial=%d" m trial) 1e-8 w2
+      (gauss_solve a b2);
+    let c2 = Array.init m (fun _ -> Prng.uniform rng (-1.0) 1.0) in
+    let y2 = Array.copy c2 in
+    ignore (Lu.btran lu y2);
+    check_vec (Printf.sprintf "eta-btran m=%d trial=%d" m trial) 1e-8 y2
+      (gauss_solve (mat_transpose a) c2)
+  done
+
+(* One [Lu.t] reused across refactorizations at growing (and shrinking)
+   dimensions: the persistent factor arrays and scratch must resize and
+   old state must not leak into the new factorization. *)
+let test_lu_reuse_growth () =
+  let rng = Prng.create 11 in
+  let lu = Lu.create () in
+  List.iter
+    (fun m ->
+      let a = random_matrix rng m in
+      Lu.refactor lu ~m ~col:(fun k -> mat_col a k);
+      let b = Array.init m (fun _ -> Prng.uniform rng (-1.0) 1.0) in
+      let w = Array.copy b in
+      ignore (Lu.ftran lu w);
+      check_vec (Printf.sprintf "regrow ftran m=%d" m) 1e-9 w (gauss_solve a b);
+      let c = Array.init m (fun _ -> Prng.uniform rng (-1.0) 1.0) in
+      let y = Array.copy c in
+      ignore (Lu.btran lu y);
+      check_vec
+        (Printf.sprintf "regrow btran m=%d" m)
+        1e-9 y
+        (gauss_solve (mat_transpose a) c))
+    [ 4; 31; 12; 50; 3 ]
+
 (* Backend agreement: on random LPs the dense reference and the sparse
    production backend must report the same status, and at [Optimal] the
    same objective (within tolerance) with a primal-feasible sparse point. *)
 let backends_agree_prop =
-  QCheck.Test.make ~count:100 ~name:"dense and sparse backends agree"
+  QCheck.Test.make ~count:100 ~name:"dense, sparse and revised backends agree"
     QCheck.(int_bound 100_000)
     (fun seed ->
       let rng = R3_util.Prng.create (seed + 31) in
@@ -258,32 +416,42 @@ let backends_agree_prop =
       P.maximize p
         (Array.to_list vars
         |> List.map (fun v -> (R3_util.Prng.uniform rng 0.1 2.0, v)));
-      match (P.solve ~backend:`Dense p, P.solve ~backend:`Sparse p) with
-      | P.Optimal d, P.Optimal s ->
+      let feasible s =
+        Array.for_all
+          (fun (terms, cmp, rhs) ->
+            let lhs =
+              List.fold_left (fun a (c, v) -> a +. (c *. s.P.value v)) 0.0 terms
+            in
+            let tol = 1e-6 *. (1.0 +. Float.abs rhs) in
+            match cmp with
+            | P.Le -> lhs <= rhs +. tol
+            | P.Ge -> lhs >= rhs -. tol
+            | P.Eq -> Float.abs (lhs -. rhs) <= tol)
+          rows
+      in
+      match
+        ( P.solve ~backend:`Dense p,
+          P.solve ~backend:`Sparse p,
+          P.solve ~backend:`Revised p )
+      with
+      | P.Optimal d, P.Optimal s, P.Optimal r ->
         close ~tol:1e-6 d.P.objective s.P.objective
-        && Array.for_all
-             (fun (terms, cmp, rhs) ->
-               let lhs =
-                 List.fold_left (fun a (c, v) -> a +. (c *. s.P.value v)) 0.0 terms
-               in
-               let tol = 1e-6 *. (1.0 +. Float.abs rhs) in
-               match cmp with
-               | P.Le -> lhs <= rhs +. tol
-               | P.Ge -> lhs >= rhs -. tol
-               | P.Eq -> Float.abs (lhs -. rhs) <= tol)
-             rows
-      | P.Unbounded, P.Unbounded -> true
-      | P.Infeasible, P.Infeasible -> true
-      | P.Iteration_limit, P.Iteration_limit -> true
+        (* the two sparse engines run the same pivoting discipline and
+           must land much closer than the generic cross-backend bound *)
+        && close ~tol:1e-9 s.P.objective r.P.objective
+        && feasible s && feasible r
+      | P.Unbounded, P.Unbounded, P.Unbounded -> true
+      | P.Infeasible, P.Infeasible, P.Infeasible -> true
+      | P.Iteration_limit, P.Iteration_limit, P.Iteration_limit -> true
       | _ -> false (* statuses disagree *))
 
 (* Warm-started sessions: after any number of added cut rows, a warm
    [resolve] must agree (status and objective) with a cold solve of the
    same augmented system. Exercises the dual-simplex repair path of
    {!R3_lp.Simplex.Session} exactly as constraint generation uses it. *)
-let warm_equals_cold_prop =
+let warm_equals_cold_prop backend name =
   let module S = R3_lp.Simplex in
-  QCheck.Test.make ~count:60 ~name:"warm session = cold solve of augmented LP"
+  QCheck.Test.make ~count:60 ~name
     QCheck.(int_bound 100_000)
     (fun seed ->
       let rng = R3_util.Prng.create (seed + 77) in
@@ -311,7 +479,7 @@ let warm_equals_cold_prop =
       let cmps l = Array.of_list (List.map (fun (_, c, _) -> c) l) in
       let rhs l = Array.of_list (List.map (fun (_, _, b) -> b) l) in
       let sess =
-        S.Session.create ~obj ~rows:(rows base) ~cmps:(cmps base)
+        S.Session.create ~backend ~obj ~rows:(rows base) ~cmps:(cmps base)
           ~rhs:(rhs base) ()
       in
       let acc = ref (List.rev base) in
@@ -327,7 +495,7 @@ let warm_equals_cold_prop =
         let warm = S.Session.resolve sess in
         let l = List.rev !acc in
         let cold =
-          S.solve ~obj ~rows:(rows l) ~cmps:(cmps l) ~rhs:(rhs l) ()
+          S.solve ~backend ~obj ~rows:(rows l) ~cmps:(cmps l) ~rhs:(rhs l) ()
         in
         (match (warm.S.status, cold.S.status) with
         | S.Optimal, S.Optimal ->
@@ -341,6 +509,61 @@ let warm_equals_cold_prop =
         | a, b -> if a <> b then ok := false)
       done;
       !ok)
+
+(* Warm starts must pay off on the revised engine: repairing the carried
+   LU after a handful of cuts should cost far fewer pivots than re-solving
+   the augmented LP from a slack basis — this is the whole point of
+   carrying the factorization across [resolve] for constraint generation. *)
+let test_warm_fewer_pivots_revised () =
+  let module S = R3_lp.Simplex in
+  let rng = Prng.create 5 in
+  let nv = 40 in
+  let obj = Array.init nv (fun _ -> Prng.uniform rng 0.5 2.0) in
+  let row lo hi =
+    (Array.init nv Fun.id, Array.init nv (fun _ -> Prng.uniform rng lo hi))
+  in
+  (* Ge rows with positive coefficients keep the optimum off the origin,
+     so the added cuts have an active solution to invalidate. *)
+  let base =
+    List.init 30 (fun i ->
+        if i mod 2 = 0 then (row 0.1 1.0, S.Ge, Prng.uniform rng 1.0 5.0)
+        else (row (-1.0) 2.0, S.Le, Prng.uniform rng 5.0 20.0))
+  in
+  let rows l = Array.of_list (List.map (fun (r, _, _) -> r) l) in
+  let cmps l = Array.of_list (List.map (fun (_, c, _) -> c) l) in
+  let rhs l = Array.of_list (List.map (fun (_, _, b) -> b) l) in
+  let sess =
+    S.Session.create ~backend:`Revised ~obj ~rows:(rows base)
+      ~cmps:(cmps base) ~rhs:(rhs base) ()
+  in
+  (match (S.Session.outcome sess).S.status with
+  | S.Optimal -> ()
+  | _ -> Alcotest.fail "base solve not optimal");
+  let cold_pivots_base = S.Session.pivots sess in
+  let cuts =
+    List.init 4 (fun _ -> (row (-0.5) 1.5, S.Le, Prng.uniform rng 4.0 15.0))
+  in
+  List.iter (fun (r, c, b) -> S.Session.add_row sess r c b) cuts;
+  let warm = S.Session.resolve sess in
+  (match warm.S.status with
+  | S.Optimal -> ()
+  | _ -> Alcotest.fail "warm resolve not optimal");
+  let warm_extra = S.Session.pivots sess - cold_pivots_base in
+  let l = base @ cuts in
+  let cold =
+    S.solve ~backend:`Revised ~obj ~rows:(rows l) ~cmps:(cmps l) ~rhs:(rhs l)
+      ()
+  in
+  (match cold.S.status with
+  | S.Optimal -> ()
+  | _ -> Alcotest.fail "cold solve not optimal");
+  if not (close ~tol:1e-9 warm.S.objective cold.S.objective) then
+    Alcotest.failf "warm %.12g vs cold %.12g" warm.S.objective cold.S.objective;
+  if warm_extra >= cold.S.pivots then
+    Alcotest.failf "warm repair spent %d pivots, cold solve only %d" warm_extra
+      cold.S.pivots;
+  if S.Session.refactorizations sess < 1 then
+    Alcotest.fail "revised session never factorized its basis"
 
 (* Deterministic end-to-end run of the Problem-level incremental API. *)
 let test_problem_session () =
@@ -379,6 +602,13 @@ let suite =
     Alcotest.test_case "free variable" `Quick test_free_var;
     Alcotest.test_case "variable bounds" `Quick test_bounds;
     Alcotest.test_case "degenerate (Beale)" `Quick test_degenerate;
+    Alcotest.test_case "degenerate (Beale, revised)" `Quick
+      test_degenerate_revised;
+    Alcotest.test_case "LU ftran/btran vs dense oracle" `Quick test_lu_solves;
+    Alcotest.test_case "LU reuse across dimensions" `Quick
+      test_lu_reuse_growth;
+    Alcotest.test_case "warm revised session beats cold" `Quick
+      test_warm_fewer_pivots_revised;
     Alcotest.test_case "duplicate terms summed" `Quick test_duplicate_terms;
     Alcotest.test_case "zero objective / pure feasibility" `Quick test_zero_objective;
     Alcotest.test_case "transportation instance" `Quick test_transportation;
@@ -387,5 +617,8 @@ let suite =
     QCheck_alcotest.to_alcotest feasibility_prop;
     QCheck_alcotest.to_alcotest duality_prop;
     QCheck_alcotest.to_alcotest backends_agree_prop;
-    QCheck_alcotest.to_alcotest warm_equals_cold_prop;
+    QCheck_alcotest.to_alcotest
+      (warm_equals_cold_prop `Sparse "warm session = cold solve (tableau)");
+    QCheck_alcotest.to_alcotest
+      (warm_equals_cold_prop `Revised "warm session = cold solve (revised)");
   ]
