@@ -717,7 +717,7 @@ let ablation () =
   (match cg with
   | Ok plan ->
     let st = R3_core.Reconfig.of_plan plan in
-    let st = R3_core.Reconfig.apply_bidir_failure st 5 in
+    let st = R3_core.Reconfig.fail st (Scenario.of_links g [ 5 ]) in
     let fresh, total =
       R3_net.Flow_decompose.path_churn g ~before:plan.Offline.protection
         ~after:st.R3_core.Reconfig.protection

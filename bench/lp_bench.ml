@@ -91,7 +91,10 @@ let run_json r extra =
 (* Paper LP (7), one cold solve per backend. *)
 let dualized_case ~f g tm base =
   let run backend =
-    let cfg = { (Offline.default_config ~f) with Offline.lp_backend = backend } in
+    let cfg =
+      Offline.default_config ~f
+      |> Offline.with_core R3_core.Config.(default |> with_lp_backend backend)
+    in
     let plan, seconds, lp_seconds, refactorizations =
       timed_compute cfg g tm base
     in
@@ -139,7 +142,7 @@ let cg_case ~f g tm base =
         (Offline.default_config ~f) with
         Offline.solve_method = Offline.Constraint_gen;
         cg_warm_start = warm;
-        lp_backend = backend;
+        core = R3_core.Config.(default |> with_lp_backend backend);
       }
     in
     let plan, seconds, lp_seconds, refactorizations =

@@ -20,7 +20,7 @@ let () =
       {
         (Offline.default_config ~f:1) with
         Offline.solve_method = Offline.Constraint_gen;
-        lp_backend = backend;
+        core = R3_core.Config.(default |> with_lp_backend backend);
       }
     in
     match Offline.compute cfg g tm (Offline.Fixed base) with

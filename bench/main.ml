@@ -30,6 +30,7 @@ let experiments =
     ("lp", Lp_bench.run);
     ("sweep", Sweep_bench.run);
     ("reconfig", Reconfig_bench.run);
+    ("online", Online_bench.run);
     ("micro", Micro.main);
   ]
 

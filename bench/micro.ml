@@ -53,7 +53,8 @@ let test_rescaling =
     (Staged.stage (fun () ->
          let _, plan, _, _ = Lazy.force abilene_plan in
          let st = R3_core.Reconfig.of_plan plan in
-         ignore (R3_core.Reconfig.apply_bidir_failure st 3)))
+         let g = plan.R3_core.Offline.graph in
+         ignore (R3_core.Reconfig.fail st (R3_core.Scenario.of_links g [ 3 ]))))
 
 let test_scenario_mlu =
   Test.make ~name:"fig3-7: scenario MLU (2 failures, Abilene)"

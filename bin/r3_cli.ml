@@ -7,6 +7,7 @@
      compare     - R3 vs the baselines on sampled scenarios
      sweep       - bulk scenario sweep (prefix-sharing engine)
      profile     - end-to-end instrumented run, metrics JSON out
+     online      - event-driven online reconfiguration run
      storage     - Table-3-style router storage report *)
 
 module G = R3_net.Graph
@@ -32,6 +33,42 @@ let seed_arg =
 
 let load_arg =
   Arg.(value & opt float 0.3 & info [ "load" ] ~docv:"F" ~doc:"Gravity-model load factor.")
+
+(* ---- unified backend configuration (shared across subcommands) ---- *)
+
+let routing_backend_arg =
+  Arg.(
+    value
+    & opt string "sparse"
+    & info [ "routing-backend" ] ~docv:"dense|sparse|auto"
+        ~doc:"Row storage for the extracted protection routing.")
+
+let lp_backend_arg =
+  Arg.(
+    value
+    & opt string "revised"
+    & info [ "lp-backend" ] ~docv:"tableau|revised|dense"
+        ~doc:
+          "Simplex engine for the offline LP: $(b,revised) (LU-factorized \
+           revised simplex), $(b,tableau) (sparse-row tableau) or \
+           $(b,dense) (reference).")
+
+(* One R3_core.Config.t from --lp-backend/--routing-backend/--seed; the
+   same record the bench harnesses build programmatically. *)
+let core_config_term =
+  let build lp routing seed =
+    let ( >>= ) r f = Result.bind r f in
+    match
+      Ok R3_core.Config.(default |> with_seed seed)
+      >>= R3_core.Config.with_lp_backend_string lp
+      >>= R3_core.Config.with_routing_backend_string routing
+    with
+    | Ok c -> c
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  Term.(const build $ lp_backend_arg $ routing_backend_arg $ seed_arg)
 
 (* ---- metrics export (shared by sweep / precompute / profile) ---- *)
 
@@ -95,8 +132,7 @@ let bidir_groups g =
   |> List.map (fun e ->
          match G.reverse_link g e with Some r -> [ e; r ] | None -> [ e ])
 
-let precompute tag f bidir joint method_ routing_backend lp_backend seed load out
-    metrics =
+let precompute tag f bidir joint method_ core seed load out metrics =
   let g = load_topology tag in
   let tm = make_tm g ~seed ~load in
   let pairs, _ = Traffic.commodities tm in
@@ -108,24 +144,8 @@ let precompute tag f bidir joint method_ routing_backend lp_backend seed load ou
       Printf.eprintf "unknown method %S (use cg or dual)\n" other;
       exit 2
   in
-  let routing_backend =
-    match R3_net.Routing.Backend.of_string routing_backend with
-    | Some b -> b
-    | None ->
-      Printf.eprintf "unknown routing backend %S (use dense, sparse or auto)\n"
-        routing_backend;
-      exit 2
-  in
-  let lp_backend =
-    match R3_lp.Problem.backend_of_string lp_backend with
-    | Some b -> b
-    | None ->
-      Printf.eprintf "unknown LP backend %S (use tableau, revised or dense)\n"
-        lp_backend;
-      exit 2
-  in
   let cfg =
-    { (Offline.default_config ~f) with solve_method; routing_backend; lp_backend }
+    Offline.with_core core { (Offline.default_config ~f) with solve_method }
   in
   let base_spec =
     if joint then Offline.Joint
@@ -174,23 +194,6 @@ let precompute_cmd =
   let method_arg =
     Arg.(value & opt string "cg" & info [ "method" ] ~docv:"cg|dual" ~doc:"Solve method.")
   in
-  let routing_backend_arg =
-    Arg.(
-      value
-      & opt string "sparse"
-      & info [ "routing-backend" ] ~docv:"dense|sparse|auto"
-          ~doc:"Row storage for the extracted protection routing.")
-  in
-  let lp_backend_arg =
-    Arg.(
-      value
-      & opt string "revised"
-      & info [ "lp-backend" ] ~docv:"tableau|revised|dense"
-          ~doc:
-            "Simplex engine for the offline LP: $(b,revised) (LU-factorized \
-             revised simplex), $(b,tableau) (sparse-row tableau) or \
-             $(b,dense) (reference).")
-  in
   let out_arg =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Save plan.")
   in
@@ -198,8 +201,7 @@ let precompute_cmd =
     (Cmd.info "precompute" ~doc:"Run the R3 offline phase")
     Term.(
       const precompute $ topology_arg $ f_arg $ bidir_arg $ joint_arg $ method_arg
-      $ routing_backend_arg $ lp_backend_arg $ seed_arg $ load_arg $ out_arg
-      $ metrics_arg)
+      $ core_config_term $ seed_arg $ load_arg $ out_arg $ metrics_arg)
 
 (* ---- evaluate ---- *)
 
@@ -502,6 +504,101 @@ let profile_cmd =
       const profile $ topology_arg $ ks_arg $ count_arg $ seed_arg $ load_arg
       $ domains_arg $ out_arg $ trace_arg)
 
+(* ---- online ---- *)
+
+let online tag f n_events faults fibs core seed load metrics =
+  let module Online = R3_sim.Online in
+  let g = load_topology tag in
+  let tm = make_tm g ~seed ~load in
+  let pairs, _ = Traffic.commodities tm in
+  let base =
+    R3_net.Ospf.routing g ~weights:(R3_net.Ospf.unit_weights g) ~pairs ()
+  in
+  let cfg =
+    Offline.with_core core
+      { (Offline.default_config ~f) with solve_method = Offline.Constraint_gen }
+  in
+  match
+    R3_core.Structured.compute cfg g tm
+      { R3_core.Structured.srlgs = bidir_groups g; mlgs = []; k = f }
+      (Offline.Fixed base)
+  with
+  | Error m ->
+    Printf.eprintf "R3 precompute failed: %s\n" m;
+    exit 1
+  | Ok plan ->
+    let root = R3_core.Reconfig.of_plan plan in
+    let schedule =
+      Online.generate g ~seed ~events:n_events ~max_concurrent:f ()
+    in
+    let channel =
+      if faults then Online.Channel.faulty Online.Channel.default_faults
+      else Online.Channel.ideal ()
+    in
+    let o, dt =
+      R3_util.Timer.time (fun () ->
+          Online.run ~channel ~seed ~mlu_bound:plan.Offline.mlu ~fibs root
+            schedule)
+    in
+    let s = o.Online.stats in
+    Printf.printf "online %s: F=%d, plan MLU* = %.4f, channel = %s\n" tag f
+      plan.Offline.mlu
+      (Online.Channel.name channel);
+    Printf.printf
+      "  %d events, %d deliveries (%d stale, %d dropped, %d retried), %d \
+       distinct states, %.0f events/s\n"
+      s.Online.events s.Online.deliveries s.Online.stale s.Online.drops
+      s.Online.retries s.Online.distinct_states
+      (if dt > 0.0 then float_of_int s.Online.events /. dt else 0.0);
+    let conv =
+      Array.of_list
+        (List.filter (fun c -> not (Float.is_nan c))
+           (Array.to_list s.Online.convergence_ms))
+    in
+    if Array.length conv > 0 then begin
+      match R3_util.Stats.quantiles ~ps:[ 50.0; 99.0 ] conv with
+      | [ p50; p99 ] ->
+        Printf.printf "  convergence p50 %.1f ms  p99 %.1f ms  max %.1f ms\n"
+          p50 p99 (R3_util.Stats.max conv)
+      | _ -> assert false
+    end;
+    Printf.printf
+      "  quiescent MLU %.4f; transient peak %.4f; min delivered %.2f%%; %d \
+       violation windows\n"
+      o.Online.quiescent_mlu s.Online.transient_mlu_peak
+      (100.0 *. s.Online.min_delivered)
+      (List.length s.Online.violation_windows);
+    List.iter
+      (fun (t0, t1) ->
+        Printf.printf "    MLU above plan bound during [%.1f, %.1f] ms\n" t0 t1)
+      s.Online.violation_windows;
+    Printf.printf "  terminal state %s the batch replay%s\n"
+      (if o.Online.order_independent then "bit-identical to" else "DIVERGES from")
+      (if not fibs then ""
+       else if o.Online.fib_consistent then "; per-router FIBs consistent"
+       else "; per-router FIBs INCONSISTENT");
+    emit_metrics metrics;
+    if not (o.Online.order_independent && o.Online.fib_consistent) then exit 1
+
+let online_cmd =
+  let f_arg =
+    Arg.(value & opt int 2 & info [ "f" ] ~docv:"F" ~doc:"Failure budget (also caps concurrent failures in the schedule).")
+  in
+  let events_arg =
+    Arg.(value & opt int 50 & info [ "events" ] ~docv:"N" ~doc:"Failure/recovery events to generate.")
+  in
+  let faults_arg =
+    Arg.(value & flag & info [ "faults" ] ~doc:"Inject channel faults (jitter, duplication, drop with retry).")
+  in
+  let fibs_arg =
+    Arg.(value & flag & info [ "fibs" ] ~doc:"Also maintain per-router MPLS-ff FIBs and check them against a full rebuild.")
+  in
+  Cmd.v
+    (Cmd.info "online" ~doc:"Event-driven online reconfiguration run")
+    Term.(
+      const online $ topology_arg $ f_arg $ events_arg $ faults_arg $ fibs_arg
+      $ core_config_term $ seed_arg $ load_arg $ metrics_arg)
+
 (* ---- storage ---- *)
 
 let storage tag seed load =
@@ -535,4 +632,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ topologies_cmd; precompute_cmd; evaluate_cmd; compare_cmd; sweep_cmd;
-            profile_cmd; storage_cmd ]))
+            profile_cmd; online_cmd; storage_cmd ]))

@@ -1,0 +1,61 @@
+(** Unified backend/workload configuration.
+
+    One record carries every cross-cutting knob that used to be plumbed
+    flag-by-flag through [Offline.config], the [r3] CLI and the bench
+    harnesses: which simplex engine solves the offline LPs, which row
+    storage holds the extracted protection routing, the workload PRNG
+    seed, and the two numeric tolerances shared by the online phase
+    (detour rescaling) and the evaluation normalizer (optimal-MCF
+    accuracy). Build one with {!default} and the builder-style [with_*]
+    functions:
+
+    {[ Config.(default |> with_lp_backend `Sparse |> with_seed 7) ]}
+
+    [Offline.default_config ?config] embeds the record in the offline
+    configuration; [r3] subcommands build it from [--lp-backend],
+    [--routing-backend] and [--seed]; bench harnesses construct
+    per-backend variants with the builders. *)
+
+type t = {
+  lp_backend : R3_lp.Problem.backend;
+      (** simplex engine for offline LP solves and warm sessions
+          (default [`Revised]) *)
+  routing_backend : R3_net.Routing.Backend.t;
+      (** row storage for the extracted protection routing
+          (default [Sparse]) *)
+  seed : int;  (** workload PRNG seed (default 42) *)
+  mcf_epsilon : float;
+      (** accuracy of the optimal-MCF evaluation normalizer
+          (default 0.06, matching [Eval.make_env]) *)
+  rescale_tol : float;
+      (** [1 - p_e(e)] threshold below which the detour of equation (8)
+          is declared undefined (default 1e-9, matching
+          [Routing.rescale_detour]) *)
+}
+
+val default : t
+
+(** {2 Builders (pipe style: [Config.(default |> with_seed 7)])} *)
+
+val with_lp_backend : R3_lp.Problem.backend -> t -> t
+val with_routing_backend : R3_net.Routing.Backend.t -> t -> t
+val with_seed : int -> t -> t
+val with_mcf_epsilon : float -> t -> t
+val with_rescale_tol : float -> t -> t
+
+(** {2 String parsing (CLI flags)} *)
+
+(** [with_lp_backend_string s t]: [s] is one of [tableau], [revised],
+    [dense] (as accepted by {!R3_lp.Problem.backend_of_string});
+    [Error] carries a usable message otherwise. *)
+val with_lp_backend_string : string -> t -> (t, string) result
+
+(** [with_routing_backend_string s t]: [s] is one of [dense], [sparse],
+    [auto]. *)
+val with_routing_backend_string : string -> t -> (t, string) result
+
+(** {2 Export} *)
+
+(** The record as a JSON object — bench artifacts embed it so every
+    BENCH_*.json names the exact backends it measured. *)
+val to_json : t -> R3_util.Json.t

@@ -27,8 +27,7 @@ type config = {
   max_pivots : int option;
   cg_max_rounds : int;
   cg_warm_start : bool;
-  lp_backend : P.backend;
-  routing_backend : Routing.Backend.t;
+  core : Config.t;
 }
 
 let default_config ~f =
@@ -41,9 +40,10 @@ let default_config ~f =
     max_pivots = None;
     cg_max_rounds = 60;
     cg_warm_start = true;
-    lp_backend = `Revised;
-    routing_backend = Routing.Backend.Sparse;
+    core = Config.default;
   }
+
+let with_core core cfg = { cfg with core }
 
 type plan = {
   graph : G.t;
@@ -194,7 +194,7 @@ let finish ~(cfg : config) lp sol g pairs p_vars r_vars base_spec mlu_var =
   (* Protection rows have support the size of one detour path; the base
      routing spreads over much of the network and stays dense. *)
   let protection =
-    Lp_build.extract_routing ~backend:cfg.routing_backend sol g
+    Lp_build.extract_routing ~backend:cfg.core.Config.routing_backend sol g
       ~pairs:(Lp_build.link_pairs g) p_vars
   in
   let base =
@@ -250,7 +250,7 @@ let compute_dualized (cfg : config) g tms base_spec =
   done;
   match
     Obs.T.with_span "offline.lp_solve" (fun () ->
-        solve_or_error ~backend:cfg.lp_backend lp cfg.max_pivots)
+        solve_or_error ~backend:cfg.core.Config.lp_backend lp cfg.max_pivots)
   with
   | Error _ as e -> e
   | Ok sol ->
@@ -310,7 +310,7 @@ let compute_cg (cfg : config) g tms base_spec =
      batch of cuts; cold mode re-solves from scratch every round. *)
   let sess =
     if cfg.cg_warm_start then
-      Some (P.session ~backend:cfg.lp_backend ?max_pivots:cfg.max_pivots lp)
+      Some (P.session ~backend:cfg.core.Config.lp_backend ?max_pivots:cfg.max_pivots lp)
     else None
   in
   let cold_pivots = ref 0 in
@@ -319,7 +319,7 @@ let compute_cg (cfg : config) g tms base_spec =
     match sess with
     | Some s -> status_error (P.resolve s)
     | None -> (
-      match solve_or_error ~backend:cfg.lp_backend lp cfg.max_pivots with
+      match solve_or_error ~backend:cfg.core.Config.lp_backend lp cfg.max_pivots with
       | Ok sol ->
         cold_pivots := !cold_pivots + sol.P.pivots;
         Ok sol

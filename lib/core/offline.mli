@@ -39,18 +39,20 @@ type config = {
       (** re-solve each cut-generation round warm via {!R3_lp.Problem.session}
           (dual-simplex basis repair) instead of a cold two-phase solve.
           Default [true]; [false] is the benchmark baseline. *)
-  lp_backend : R3_lp.Problem.backend;
-      (** simplex engine for cold solves and warm sessions (default
-          [`Revised]: LU-factorized revised simplex; [`Sparse] is the
-          tableau fallback) *)
-  routing_backend : R3_net.Routing.Backend.t;
-      (** row storage for the extracted {e protection} routing (default
-          [Sparse]: each row is one detour path wide, and the online
-          failure folding is O(nnz) per row on sparse storage). The base
-          routing is always extracted dense. *)
+  core : Config.t;
+      (** the unified backend/seed/tolerance bundle ({!Config.t}):
+          [lp_backend] selects the simplex engine for cold solves and warm
+          sessions, [routing_backend] the row storage for the extracted
+          {e protection} routing (the base routing is always extracted
+          dense). Replaces the per-field [lp_backend]/[routing_backend]
+          plumbing. *)
 }
 
 val default_config : f:int -> config
+
+(** [with_core core cfg] swaps the backend bundle — builder-style:
+    [Offline.default_config ~f |> Offline.with_core Config.(default |> with_lp_backend `Sparse)]. *)
+val with_core : Config.t -> config -> config
 
 type plan = {
   graph : R3_net.Graph.t;

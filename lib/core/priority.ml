@@ -121,7 +121,7 @@ let compute (cfg : Offline.config) g ?srlgs ~classes base_spec =
   let sess =
     if cfg.Offline.cg_warm_start then
       Some
-        (P.session ~backend:cfg.Offline.lp_backend
+        (P.session ~backend:cfg.Offline.core.Config.lp_backend
            ?max_pivots:cfg.Offline.max_pivots lp)
     else None
   in
@@ -130,7 +130,7 @@ let compute (cfg : Offline.config) g ?srlgs ~classes base_spec =
     match sess with
     | Some s -> P.resolve s
     | None ->
-      let r = P.solve ~backend:cfg.Offline.lp_backend ?max_pivots:cfg.Offline.max_pivots lp in
+      let r = P.solve ~backend:cfg.Offline.core.Config.lp_backend ?max_pivots:cfg.Offline.max_pivots lp in
       (match r with
       | P.Optimal sol -> cold_pivots := !cold_pivots + sol.P.pivots
       | _ -> ());

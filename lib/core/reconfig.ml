@@ -9,12 +9,16 @@ type state = {
   base : Routing.t;
   protection : Routing.t;
   failed : G.link_set;
+  pristine_base : Routing.t;
+  pristine_protection : Routing.t;
 }
 
 module Obs = struct
   module M = R3_util.Metrics
 
   let cow_shared_ratio = M.gauge "r3.reconfig.cow_shared_ratio"
+  let recoveries = M.counter "r3.reconfig.recoveries"
+  let recovery_refolds = M.counter "r3.reconfig.recovery_refolds"
 end
 
 (* Pre-building the fold indexes here means parallel workers stepping
@@ -32,6 +36,8 @@ let of_plan (plan : Offline.plan) =
     base;
     protection;
     failed = G.no_failures plan.Offline.graph;
+    pristine_base = base;
+    pristine_protection = protection;
   }
 
 let make graph ~pairs ~demands ~base ~protection =
@@ -41,20 +47,30 @@ let make graph ~pairs ~demands ~base ~protection =
   let protection = Routing.copy protection in
   Routing.prepare base;
   Routing.prepare protection;
-  { graph; pairs; demands; base; protection; failed = G.no_failures graph }
+  {
+    graph;
+    pairs;
+    demands;
+    base;
+    protection;
+    failed = G.no_failures graph;
+    pristine_base = base;
+    pristine_protection = protection;
+  }
 
-let one_tol = 1e-9
+let one_tol = Config.default.Config.rescale_tol
 
 let detour_vec st e = Routing.rescale_detour ~tol:one_tol st.protection e
 
 let detour st e = Rowvec.to_dense (G.num_links st.graph) (detour_vec st e)
 
-(* The single failure kernel behind [apply_failure], [step] and both
-   bidirectional variants: every caller provably runs the same
-   arithmetic, so stepped, folded, and direction-paired states cannot
-   drift apart. Copy-on-write throughout — rows the failure does not
-   touch are shared with the parent, so a scenario-tree traversal pays
-   O(changed rows) per edge and nothing here mutates [st]. *)
+(* The single failure kernel behind every entry point ([fail], the
+   deprecated per-link wrappers, and [recover]'s replay): every caller
+   provably runs the same arithmetic, so stepped, folded, and
+   direction-paired states cannot drift apart. Copy-on-write throughout —
+   rows the failure does not touch are shared with the parent, so a
+   scenario-tree traversal pays O(changed rows) per edge and nothing here
+   mutates [st]. *)
 let fail_one st e =
   if st.failed.(e) then st
   else begin
@@ -83,11 +99,58 @@ let fail_bidir st e =
   let st = fail_one st e in
   match G.reverse_link st.graph e with Some r -> fail_one st r | None -> st
 
+(* Canonical application order of a set of directed links: by physical
+   representative ascending, representative before reverse — exactly the
+   order [Scenario.links] lists, extended to orphan directed links. Every
+   path into the folding kernel sorts by this key, so a state's float
+   bits are a function of its failed set alone. *)
+let canonical_key g e =
+  let rep = match G.reverse_link g e with Some r when r < e -> r | _ -> e in
+  (rep * 2) + if e = rep then 0 else 1
+
+let fail st sc =
+  (* Scenario.links is already in canonical order. *)
+  List.fold_left fail_one st (Scenario.links sc)
+
+let pristine st =
+  {
+    st with
+    base = st.pristine_base;
+    protection = st.pristine_protection;
+    failed = G.no_failures st.graph;
+  }
+
+(* Rescaling is lossy (a fold forgets where the folded traffic came
+   from), so un-failing replays the remaining failed links from the
+   pristine plan routings — no LP recompute, O(remaining) copy-on-write
+   folds, and by construction bit-identical to [fail (pristine st)
+   remaining]. *)
+let recover st sc =
+  let up = Scenario.links sc in
+  if not (List.exists (fun e -> st.failed.(e)) up) then st
+  else begin
+    R3_util.Metrics.incr Obs.recoveries;
+    let keep = Array.copy st.failed in
+    List.iter (fun e -> keep.(e) <- false) up;
+    let remaining = ref [] in
+    for e = G.num_links st.graph - 1 downto 0 do
+      if keep.(e) then remaining := e :: !remaining
+    done;
+    let remaining =
+      List.sort
+        (fun a b ->
+          Int.compare (canonical_key st.graph a) (canonical_key st.graph b))
+        !remaining
+    in
+    R3_util.Metrics.add Obs.recovery_refolds (List.length remaining);
+    List.fold_left fail_one (pristine st) remaining
+  end
+
 let apply_failure = fail_one
 
 let apply_bidir_failure = fail_bidir
 
-let apply_failures st links = List.fold_left apply_failure st links
+let apply_failures st links = List.fold_left fail_one st links
 
 let step = fail_one
 

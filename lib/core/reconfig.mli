@@ -8,7 +8,15 @@
 
     and both the base routing and the protection routing are updated by
     (9) and (10) to stop using [e]. The procedure is local, cheap, and
-    order-independent (Theorem 3), which this module's tests verify. *)
+    order-independent (Theorem 3), which this module's tests verify.
+
+    The primary API is the {!fail}/{!recover} pair over {!Scenario.t}
+    deltas: a state is always the canonical batch application of its
+    failed set, folded in canonical scenario order, so two states with
+    the same failed set are bit-identical however they were reached. The
+    older per-directed-link entry points ([step], [apply_failure] and the
+    bidirectional variants) are kept one PR cycle as deprecated
+    wrappers. *)
 
 type state = {
   graph : R3_net.Graph.t;
@@ -17,6 +25,12 @@ type state = {
   base : R3_net.Routing.t;  (** current (possibly reconfigured) r *)
   protection : R3_net.Routing.t;  (** current (possibly rescaled) p *)
   failed : R3_net.Graph.link_set;
+  pristine_base : R3_net.Routing.t;
+      (** the plan's base routing before any failure — what {!recover}
+          replays from. Treat as read-only. *)
+  pristine_protection : R3_net.Routing.t;
+      (** the plan's protection routing before any failure. Treat as
+          read-only. *)
 }
 
 (** Initial state from an offline plan (no failures yet). *)
@@ -36,42 +50,41 @@ val make :
     protection (or the network is partitioned) and its traffic is dropped. *)
 val detour : state -> R3_net.Graph.link -> float array
 
-(** Fail a single directed link: rescale and update [r] and [p].
-    Idempotent on already-failed links. The parent state is never
-    mutated; unmodified routing rows are shared with it (copy-on-write),
-    so this is O(rows touched by the failure), not O(whole state). *)
-val apply_failure : state -> R3_net.Graph.link -> state
+(** {2 The scenario-delta API}
 
-(** Fail a link and its reverse direction (physical failure). *)
-val apply_bidir_failure : state -> R3_net.Graph.link -> state
+    [fail] and [recover] advance a state between failed sets. Both are
+    copy-on-write: routing rows a transition does not touch are shared
+    with the parent state, the parent is never mutated, and any number
+    of children may be derived from one state (including concurrently —
+    see {!R3_net.Routing.fold_failure}). Both fold rescaling steps in
+    {e canonical scenario order} (physical representatives ascending,
+    each followed by its reverse), so a state's float bits depend only
+    on its failed set — Theorem 3 (order independence) made executable,
+    and the property the online runtime's randomized delivery-order
+    tests pin down. *)
+
+(** [fail st sc] fails every link of [sc] not already down: for each
+    directed link, rescale the detour (8) and fold it through (9)/(10).
+    O(rows touched); idempotent on already-failed links. *)
+val fail : state -> Scenario.t -> state
+
+(** [recover st sc] brings the links of [sc] back up. Rescaling is lossy
+    (folding a detour forgets where the folded traffic came from), so
+    recovery replays the {e remaining} failed links from the pristine
+    plan routings — no LP recompute, just O(remaining links) folds on the
+    copy-on-write substrate. Bit-identical to [fail pristine remaining].
+    Links of [sc] that were not failed are ignored; recovering everything
+    returns a state bit-identical to the pristine one. *)
+val recover : state -> Scenario.t -> state
 
 (** Apply a failure sequence left to right (directed links). *)
 val apply_failures : state -> R3_net.Graph.link list -> state
-
-(** {2 Persistent steps for scenario-tree traversal}
-
-    [step] and [apply_failure] are the {e same} copy-on-write kernel (one
-    shared [fail_one] core — likewise [step_bidir] and
-    [apply_bidir_failure]): the returned state shares every routing row
-    the failure does not touch with its parent, so a DFS over a scenario
-    tree pays O(changed rows) per edge instead of O(whole state). Parent
-    states are never mutated; any number of children may be stepped from
-    the same state (Theorem 3 makes the traversal order immaterial).
-    Stepped states are bit-identical to [apply_failure]'d ones —
-    checkable with {!states_bit_identical}. Both names are kept so
-    call sites read as intended. *)
-
-(** Copy-on-write [apply_failure]: shares unmodified rows with [state]. *)
-val step : state -> R3_net.Graph.link -> state
-
-(** Copy-on-write [apply_bidir_failure]. *)
-val step_bidir : state -> R3_net.Graph.link -> state
 
 (** True iff the two states have the same failure set and bit-identical
     base and protection routings (compared via [Int64.bits_of_float] on
     the dense image, so [-0.0] differs from [+0.0] and storage backend
     does not matter). The equivalence check used by the tests for
-    [apply_failures]-vs-[step] folds and dense-vs-sparse backends. *)
+    [fail]-vs-replay folds and dense-vs-sparse backends. *)
 val states_bit_identical : state -> state -> bool
 
 (** Per-link load of the real traffic under the current base routing. *)
@@ -83,3 +96,25 @@ val mlu : state -> float
 
 (** Fraction of total demand still delivered (1.0 absent partitions). *)
 val delivered_fraction : state -> float
+
+(** {2 Deprecated per-directed-link interface}
+
+    Kept for one PR cycle; all four collapse into {!fail} over singleton
+    scenarios (they were already one shared failure kernel, so the new
+    API runs the identical arithmetic). *)
+
+(** Fail a single directed link. *)
+val apply_failure : state -> R3_net.Graph.link -> state
+[@@ocaml.deprecated "use Reconfig.fail over a Scenario.t delta"]
+
+(** Fail a link and its reverse direction (physical failure). *)
+val apply_bidir_failure : state -> R3_net.Graph.link -> state
+[@@ocaml.deprecated "use Reconfig.fail over a Scenario.t delta"]
+
+(** Copy-on-write [apply_failure] (the same kernel). *)
+val step : state -> R3_net.Graph.link -> state
+[@@ocaml.deprecated "use Reconfig.fail over a Scenario.t delta"]
+
+(** Copy-on-write [apply_bidir_failure] (the same kernel). *)
+val step_bidir : state -> R3_net.Graph.link -> state
+[@@ocaml.deprecated "use Reconfig.fail over a Scenario.t delta"]

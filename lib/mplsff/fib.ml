@@ -19,36 +19,76 @@ let label_of_link e = label_base + e
 
 let link_of_label l = l - label_base
 
+(* One router's whole ILM from (that router's view of) the protection
+   routing — the unit of work a router redoes locally when a failure or
+   recovery notification arrives. Shared by the full rebuild and the
+   per-router incremental update so the two can never drift. *)
+let router_ilm g p router =
+  let ilm = Hashtbl.create 16 in
+  let out = G.out_links g router in
+  let m = G.num_links g in
+  for l = 0 to m - 1 do
+    (* Ratios over outgoing links; at the protected link's head the link
+       itself is excluded (it is the one being bypassed). *)
+    let candidates =
+      Array.to_list out
+      |> List.filter (fun e -> e <> l && Routing.get p l e > 1e-12)
+    in
+    let total =
+      List.fold_left (fun a e -> a +. Routing.get p l e) 0.0 candidates
+    in
+    if total > 1e-12 then begin
+      let label = label_of_link l in
+      let nhlfes =
+        candidates
+        |> List.map (fun e -> { out_link = e; ratio = Routing.get p l e /. total })
+        |> Array.of_list
+      in
+      Hashtbl.replace ilm label { label; nhlfes }
+    end
+  done;
+  ilm
+
 let of_protection g p =
   if Routing.num_commodities p <> G.num_links g then
     invalid_arg "Fib.of_protection: protection must cover every link";
   let n = G.num_nodes g in
-  let fibs = Array.init n (fun router -> { router; ilm = Hashtbl.create 16 }) in
-  let m = G.num_links g in
-  for l = 0 to m - 1 do
-    let row = Routing.row_dense p l in
-    let label = label_of_link l in
-    for v = 0 to n - 1 do
-      (* Ratios over outgoing links; at the protected link's head the link
-         itself is excluded (it is the one being bypassed). *)
-      let candidates =
-        Array.to_list (G.out_links g v)
-        |> List.filter (fun e -> e <> l && row.(e) > 1e-12)
-      in
-      let total = List.fold_left (fun a e -> a +. row.(e)) 0.0 candidates in
-      if total > 1e-12 then begin
-        let nhlfes =
-          candidates
-          |> List.map (fun e -> { out_link = e; ratio = row.(e) /. total })
-          |> Array.of_list
-        in
-        Hashtbl.replace fibs.(v).ilm label { label; nhlfes }
-      end
-    done
-  done;
-  { graph = g; fibs; protected_links = Array.init m (fun e -> e) }
+  let fibs = Array.init n (fun router -> { router; ilm = router_ilm g p router }) in
+  { graph = g; fibs; protected_links = Array.init (G.num_links g) (fun e -> e) }
 
 let update t p = of_protection t.graph p
+
+let update_router t ~router p =
+  if Routing.num_commodities p <> G.num_links t.graph then
+    invalid_arg "Fib.update_router: protection must cover every link";
+  let fibs = Array.copy t.fibs in
+  fibs.(router) <- { router; ilm = router_ilm t.graph p router };
+  { t with fibs }
+
+let fwd_equal a b =
+  a.label = b.label
+  && Array.length a.nhlfes = Array.length b.nhlfes
+  && Array.for_all2
+       (fun x y ->
+         x.out_link = y.out_link
+         && Int64.equal (Int64.bits_of_float x.ratio) (Int64.bits_of_float y.ratio))
+       a.nhlfes b.nhlfes
+
+let router_fib_equal a b =
+  a.router = b.router
+  && Hashtbl.length a.ilm = Hashtbl.length b.ilm
+  && Hashtbl.fold
+       (fun label fwd acc ->
+         acc
+         &&
+         match Hashtbl.find_opt b.ilm label with
+         | Some fwd' -> fwd_equal fwd fwd'
+         | None -> false)
+       a.ilm true
+
+let equal a b =
+  Array.length a.fibs = Array.length b.fibs
+  && Array.for_all2 router_fib_equal a.fibs b.fibs
 
 let max_table_sizes t =
   Array.fold_left

@@ -42,6 +42,19 @@ val of_protection : R3_net.Graph.t -> R3_net.Routing.t -> t
     (what routers do locally after each notification). *)
 val update : t -> R3_net.Routing.t -> t
 
+(** [update_router t ~router p] re-derives {e one} router's ILM from that
+    router's (possibly stale) view [p] of the protection routing — the
+    local FIB step the online runtime applies when a notification reaches
+    [router]. Other routers' tables are shared with [t] untouched, so
+    applying per-router updates in {e any} order, once every router has
+    seen the final protection routing, lands on the same FIB as a full
+    {!update} (tested in [test/test_online.ml]). *)
+val update_router : t -> router:R3_net.Graph.node -> R3_net.Routing.t -> t
+
+(** Structural equality of the forwarding state: same routers, same ILM
+    entries, bit-identical splitting ratios. *)
+val equal : t -> t -> bool
+
 (** Total entries across routers: [(ilm_entries, nhlfe_entries)] of the
     router with the largest tables — the per-router figure of Table 3. *)
 val max_table_sizes : t -> int * int

@@ -175,30 +175,27 @@ let evaluate ?cache ?(with_optimal = true) env alg scenario =
   end
   else { bottleneck = b; optimal = nan; ratio = None; delivered = d }
 
-(* ---- legacy entry points (deprecated in the mli) ---- *)
+(* ---- legacy entry point (deprecated in the mli) ---- *)
 
-let bottleneck = bottleneck_links
-
-let optimal_bottleneck env scenario =
-  let failed = G.fail_links env.graph scenario in
-  let r =
-    R3_mcf.Concurrent_flow.min_mlu env.graph ~failed ~epsilon:env.mcf_epsilon
-      ~pairs:env.pairs ~demands:env.demands ()
-  in
-  r.R3_mcf.Concurrent_flow.mlu
-
-let performance_ratio env alg scenario =
-  let opt = optimal_bottleneck env scenario in
-  if opt <= 0.0 then nan else bottleneck_links env alg scenario /. opt
-
+(* The serial reference the sweep bench compares the prefix-sharing
+   engine against; the removed [bottleneck]/[optimal_bottleneck]/
+   [performance_ratio] wrappers collapsed into {!evaluate}. *)
 let sorted_curves env ~algorithms ~scenarios ?(metric = `Ratio) () =
+  let raw_optimal links =
+    let failed = G.fail_links env.graph links in
+    let r =
+      R3_mcf.Concurrent_flow.min_mlu env.graph ~failed ~epsilon:env.mcf_epsilon
+        ~pairs:env.pairs ~demands:env.demands ()
+    in
+    r.R3_mcf.Concurrent_flow.mlu
+  in
   let algs = Array.of_list algorithms in
   let values = Array.map (fun _ -> ref []) algs in
   List.iter
     (fun scenario ->
       let opt =
         match metric with
-        | `Ratio -> optimal_bottleneck env scenario
+        | `Ratio -> raw_optimal scenario
         | `Bottleneck -> 1.0
       in
       Array.iteri

@@ -88,22 +88,9 @@ val r3_root : env -> algorithm -> R3_core.Reconfig.state option
 
 (** {2 Deprecated raw-list interface}
 
-    Kept for one PR; every entry point collapses into {!evaluate} (or
-    [Sweep.curves] for the bulk path). *)
-
-(** Bottleneck traffic intensity of one algorithm under one scenario
-    (directed failed links). *)
-val bottleneck : env -> algorithm -> R3_net.Graph.link list -> float
-[@@ocaml.deprecated "use Eval.evaluate (or Eval.scenario_bottleneck)"]
-
-(** Approximately optimal bottleneck intensity. *)
-val optimal_bottleneck : env -> R3_net.Graph.link list -> float
-[@@ocaml.deprecated "use Eval.optimal"]
-
-(** [performance_ratio env alg scenario]; returns [nan] when the optimum
-    is 0 — {!evaluate}'s [ratio] field reports that case as [None]. *)
-val performance_ratio : env -> algorithm -> R3_net.Graph.link list -> float
-[@@ocaml.deprecated "use Eval.evaluate"]
+    The [bottleneck]/[optimal_bottleneck]/[performance_ratio] wrappers
+    deprecated in PR 2 are gone — use {!evaluate}/{!optimal}. Only the
+    serial curve builder remains (the sweep bench's naive reference). *)
 
 (** Evaluate several algorithms over many scenarios; result.(i) lists, for
     algorithm i, the per-scenario values sorted ascending. Undefined ratios

@@ -41,7 +41,9 @@ let routing_at g pairs demands scheme events time =
         ~protection:plan.R3_core.Offline.protection
     in
     let st =
-      List.fold_left (fun st e -> R3_core.Reconfig.apply_bidir_failure st e) st fallen
+      List.fold_left
+        (fun st e -> R3_core.Reconfig.fail st (Scenario.of_links g [ e ]))
+        st fallen
     in
     (st.R3_core.Reconfig.base, st.R3_core.Reconfig.failed)
   | Ospf { weights; reconvergence_s } ->

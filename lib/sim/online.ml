@@ -1,0 +1,403 @@
+module G = R3_net.Graph
+module Reconfig = R3_core.Reconfig
+module Notify = R3_mplsff.Notify
+module Fib = R3_mplsff.Fib
+module Prng = R3_util.Prng
+module Metrics = R3_util.Metrics
+module Trace = R3_util.Trace
+
+type event_kind = Fail | Recover
+
+type event = { at_ms : float; link : G.link; kind : event_kind }
+
+let phys_rep g e =
+  match G.reverse_link g e with Some r when r < e -> r | _ -> e
+
+(* ---- seeded schedule generation ---- *)
+
+let generate g ~seed ~events ?(max_concurrent = 2) ?(mean_gap_ms = 250.0)
+    ?(recover_bias = 0.6) () =
+  if events < 0 then invalid_arg "Online.generate: negative event count";
+  if max_concurrent < 1 then invalid_arg "Online.generate: max_concurrent < 1";
+  let phys = Scenarios.physical_links g in
+  if Array.length phys = 0 then []
+  else begin
+    let rng = Prng.create seed in
+    let down = Hashtbl.create 8 in
+    let down_reps () =
+      Hashtbl.fold (fun e () acc -> e :: acc) down [] |> List.sort compare
+    in
+    let failed_with extra =
+      let sc = Scenario.of_physical g (extra @ down_reps ()) in
+      G.fail_links g (Scenario.links sc)
+    in
+    (* A failure pick must keep the survivors strongly connected, both so
+       the congestion-free guarantee is in scope and so notification
+       flooding reaches every router. Rejection-sample a few times; links
+       whose loss would partition (e.g. bridges) simply stay up. *)
+    let try_fail () =
+      let rec go k =
+        if k = 0 then None
+        else begin
+          let e = Prng.choose rng phys in
+          if Hashtbl.mem down e then go (k - 1)
+          else if G.strongly_connected g ~failed:(failed_with [ e ]) () then
+            Some e
+          else go (k - 1)
+        end
+      in
+      go 32
+    in
+    let out = ref [] in
+    let t = ref 0.0 in
+    for _ = 1 to events do
+      t := !t +. Prng.exponential rng ~mean:mean_gap_ms;
+      let n_down = Hashtbl.length down in
+      let recover () =
+        let reps = Array.of_list (down_reps ()) in
+        let e = Prng.choose rng reps in
+        Hashtbl.remove down e;
+        out := { at_ms = !t; link = e; kind = Recover } :: !out
+      in
+      let want_recover =
+        n_down > 0 && (n_down >= max_concurrent || Prng.bool rng recover_bias)
+      in
+      if want_recover then recover ()
+      else begin
+        match try_fail () with
+        | Some e ->
+          Hashtbl.add down e ();
+          out := { at_ms = !t; link = e; kind = Fail } :: !out
+        | None -> if n_down > 0 then recover ()
+      end
+    done;
+    List.rev !out
+  end
+
+(* ---- channel model ---- *)
+
+module Channel = struct
+  type faults = {
+    jitter_ms : float;
+    dup_prob : float;
+    drop_prob : float;
+    max_retries : int;
+    backoff_ms : float;
+  }
+
+  let default_faults =
+    {
+      jitter_ms = 15.0;
+      dup_prob = 0.2;
+      drop_prob = 0.2;
+      max_retries = 5;
+      backoff_ms = 40.0;
+    }
+
+  type t = {
+    notify : Notify.config;
+    faults : faults option;
+    cname : string;
+  }
+
+  let ideal ?(notify = Notify.default_config) () =
+    { notify; faults = None; cname = "ideal" }
+
+  let faulty ?(notify = Notify.default_config) faults =
+    { notify; faults = Some faults; cname = "faulty" }
+
+  let name c = c.cname
+end
+
+type stats = {
+  events : int;
+  deliveries : int;
+  stale : int;
+  drops : int;
+  retries : int;
+  distinct_states : int;
+  convergence_ms : float array;
+  transient_mlu_peak : float;
+  min_delivered : float;
+  violation_windows : (float * float) list;
+}
+
+type outcome = {
+  terminal : Reconfig.state;
+  order_independent : bool;
+  fib_consistent : bool;
+  quiescent_mlu : float;
+  stats : stats;
+}
+
+(* One notification copy en route to one router. *)
+type delivery = { at : float; seq : int; ev : int; router : G.node }
+
+let c_events = Metrics.counter "r3.online.events"
+let c_deliveries = Metrics.counter "r3.online.deliveries"
+let c_stale = Metrics.counter "r3.online.stale"
+let c_drops = Metrics.counter "r3.online.drops"
+let c_retries = Metrics.counter "r3.online.retries"
+let c_states = Metrics.counter "r3.online.states"
+
+let h_convergence =
+  Metrics.histogram
+    ~bounds:[| 10.0; 30.0; 60.0; 100.0; 200.0; 400.0; 800.0; 1600.0 |]
+    "r3.online.convergence_ms"
+
+let h_violation =
+  Metrics.histogram
+    ~bounds:[| 1.0; 10.0; 30.0; 100.0; 300.0; 1000.0 |]
+    "r3.online.violation_ms"
+
+let g_quiescent = Metrics.gauge "r3.online.quiescent_mlu"
+
+(* Deterministic per-(event, router) fault stream, independent of how many
+   draws other streams made. *)
+let copy_rng ~seed ~ev ~router =
+  Prng.create ((seed * 0x2545F49) lxor ((ev + 1) * 1_000_003) lxor ((router + 1) * 7919))
+
+let run ?(channel = Channel.ideal ()) ?(seed = 0) ?(mlu_bound = infinity)
+    ?(fibs = false) root events =
+  Trace.with_span "online.run" @@ fun () ->
+  let g = root.Reconfig.graph in
+  let n = G.num_nodes g in
+  let m = G.num_links g in
+  let events =
+    Array.of_list (List.stable_sort (fun a b -> Float.compare a.at_ms b.at_ms) events)
+  in
+  let ne = Array.length events in
+  Array.iteri
+    (fun i ev ->
+      if ev.link < 0 || ev.link >= m then invalid_arg "Online.run: bad link";
+      if ev.link <> phys_rep g ev.link then
+        invalid_arg "Online.run: event links must be physical representatives";
+      ignore i)
+    events;
+  Metrics.add c_events ne;
+  (* True failed set after each event, for notification flooding. *)
+  let scenario_after = Array.make ne (Scenario.of_physical g []) in
+  let arrival_after = Array.make ne [||] in
+  begin
+    let down = Hashtbl.create 8 in
+    Array.iteri
+      (fun i ev ->
+        (match ev.kind with
+        | Fail -> Hashtbl.replace down ev.link ()
+        | Recover -> Hashtbl.remove down ev.link);
+        let reps =
+          Hashtbl.fold (fun e () acc -> e :: acc) down [] |> List.sort compare
+        in
+        let sc = Scenario.of_physical g reps in
+        scenario_after.(i) <- sc;
+        arrival_after.(i) <-
+          Notify.arrival_times ~config:channel.Channel.notify g
+            ~failed:(G.fail_links g (Scenario.links sc))
+            ~link:ev.link)
+      events
+  end;
+  (* Expand every (event, router) notification into its delivery copies.
+     Faults are precomputable: drops, retransmissions and duplicates do not
+     depend on receiver state, so the whole delivery schedule is known
+     upfront and a sort replaces a priority queue. *)
+  let stat_drops = ref 0 and stat_retries = ref 0 in
+  let deliveries = ref [] in
+  let n_copies = ref 0 in
+  let push at ev router =
+    deliveries := { at; seq = !n_copies; ev; router } :: !deliveries;
+    incr n_copies
+  in
+  for i = 0 to ne - 1 do
+    let ev = events.(i) in
+    for v = 0 to n - 1 do
+      let flood = arrival_after.(i).(v) in
+      (* [infinity] = router partitioned from the detector; with the
+         connectivity-preserving generator this cannot happen, but a
+         hand-built schedule may do it — the router then simply never
+         hears about this event. *)
+      if flood < infinity then begin
+        let base = ev.at_ms +. flood in
+        match channel.Channel.faults with
+        | None -> push base i v
+        | Some f ->
+          let rng = copy_rng ~seed ~ev:i ~router:v in
+          let lost = ref 0 in
+          while !lost < f.Channel.max_retries && Prng.bool rng f.Channel.drop_prob do
+            incr lost
+          done;
+          stat_drops := !stat_drops + !lost;
+          stat_retries := !stat_retries + !lost;
+          let attempt_base =
+            base +. (float_of_int !lost *. f.Channel.backoff_ms)
+          in
+          let jitter () =
+            if f.Channel.jitter_ms > 0.0 then Prng.float rng f.Channel.jitter_ms
+            else 0.0
+          in
+          push (attempt_base +. jitter ()) i v;
+          let dups = ref 0 in
+          while !dups < 3 && Prng.bool rng f.Channel.dup_prob do
+            push (attempt_base +. jitter ()) i v;
+            incr dups
+          done
+      end
+    done
+  done;
+  let deliveries = Array.of_list !deliveries in
+  Array.sort
+    (fun a b ->
+      match Float.compare a.at b.at with 0 -> compare a.seq b.seq | c -> c)
+    deliveries;
+  (* Memoized canonical states: every believed failed set maps to the
+     batch application of that set in canonical scenario order, built by
+     prefix recursion — so a router view's float bits depend only on its
+     believed set, never on delivery order (Theorem 3, executably). *)
+  let memo = Scenario.Tbl.create 64 in
+  Scenario.Tbl.add memo (Scenario.of_physical g []) root;
+  let rec canonical sc =
+    match Scenario.Tbl.find_opt memo sc with
+    | Some st -> st
+    | None ->
+      let rec split_last acc = function
+        | [] -> assert false
+        | [ last ] -> (List.rev acc, last)
+        | x :: tl -> split_last (x :: acc) tl
+      in
+      let prefix, last = split_last [] (Scenario.physical sc) in
+      let parent = canonical (Scenario.of_physical g prefix) in
+      let st = Reconfig.fail parent (Scenario.of_physical g [ last ]) in
+      Scenario.Tbl.add memo sc st;
+      st
+  in
+  (* Per-router protocol state. *)
+  let seen = Array.make_matrix n m 0 in
+  let belief = Array.make_matrix n m false in
+  let view = Array.make n root in
+  let fib = ref (if fibs then Some (Fib.of_protection g root.Reconfig.protection) else None) in
+  (* Convergence accounting: event i is converged once every router has
+     accepted some version >= i+1 for its link. *)
+  let events_by_link = Array.make m [] in
+  for i = ne - 1 downto 0 do
+    events_by_link.(events.(i).link) <- i :: events_by_link.(events.(i).link)
+  done;
+  let pending = Array.make ne n in
+  let convergence = Array.make ne nan in
+  (* Data-plane state: a physical event takes effect on traffic when the
+     canonical direction's head router accepts it. *)
+  let dp_belief = Array.make m false in
+  let dp_state = ref root in
+  let peak = ref (Reconfig.mlu root) in
+  let min_delivered = ref (Reconfig.delivered_fraction root) in
+  let violation_start = ref (if !peak > mlu_bound then Some 0.0 else None) in
+  let violations = ref [] in
+  let observe_dp now =
+    let u = Reconfig.mlu !dp_state in
+    if u > !peak then peak := u;
+    let d = Reconfig.delivered_fraction !dp_state in
+    if d < !min_delivered then min_delivered := d;
+    match (!violation_start, u > mlu_bound) with
+    | None, true -> violation_start := Some now
+    | Some t0, false ->
+      violations := (t0, now) :: !violations;
+      Metrics.observe h_violation (now -. t0);
+      violation_start := None
+    | None, false | Some _, true -> ()
+  in
+  let stat_stale = ref 0 in
+  let last_at = ref 0.0 in
+  Array.iter
+    (fun d ->
+      Metrics.incr c_deliveries;
+      last_at := d.at;
+      let ev = events.(d.ev) in
+      let ver = d.ev + 1 in
+      let v = d.router in
+      let rep = ev.link in
+      let prev = seen.(v).(rep) in
+      if ver <= prev then incr stat_stale
+      else begin
+        seen.(v).(rep) <- ver;
+        belief.(v).(rep) <- (ev.kind = Fail);
+        (* Credit every event on this link whose version the acceptance
+           covers (a newer notification subsumes the older ones a lossy
+           channel may never deliver to this router). *)
+        List.iter
+          (fun j ->
+            let vj = j + 1 in
+            if vj > prev && vj <= ver && pending.(j) > 0 then begin
+              pending.(j) <- pending.(j) - 1;
+              if pending.(j) = 0 then begin
+                convergence.(j) <- d.at -. events.(j).at_ms;
+                Metrics.observe h_convergence convergence.(j)
+              end
+            end)
+          events_by_link.(rep);
+        let reps = ref [] in
+        for e = m - 1 downto 0 do
+          if belief.(v).(e) then reps := e :: !reps
+        done;
+        view.(v) <- canonical (Scenario.of_physical g !reps);
+        (match !fib with
+        | Some f ->
+          fib := Some (Fib.update_router f ~router:v view.(v).Reconfig.protection)
+        | None -> ());
+        if v = G.src g rep then begin
+          dp_belief.(rep) <- (ev.kind = Fail);
+          let dreps = ref [] in
+          for e = m - 1 downto 0 do
+            if dp_belief.(e) then dreps := e :: !dreps
+          done;
+          dp_state := canonical (Scenario.of_physical g !dreps);
+          observe_dp d.at
+        end
+      end)
+    deliveries;
+  (match !violation_start with
+  | Some t0 when !last_at > t0 ->
+    violations := (t0, !last_at) :: !violations;
+    Metrics.observe h_violation (!last_at -. t0)
+  | _ -> ());
+  Metrics.add c_stale !stat_stale;
+  Metrics.add c_drops !stat_drops;
+  Metrics.add c_retries !stat_retries;
+  (* Quiescence: the terminal scenario is the true final failed set; the
+     reference is an independent one-shot batch application from the root,
+     so the memoized prefix recursion is itself under test. *)
+  let final_sc = if ne = 0 then Scenario.of_physical g [] else scenario_after.(ne - 1) in
+  let terminal = canonical final_sc in
+  let batch = Reconfig.fail root final_sc in
+  let order_independent =
+    Reconfig.states_bit_identical terminal batch
+    && Array.for_all (fun v -> Reconfig.states_bit_identical v batch) view
+  in
+  let fib_consistent =
+    match !fib with
+    | None -> true
+    | Some f -> Fib.equal f (Fib.of_protection g batch.Reconfig.protection)
+  in
+  let quiescent_mlu = Reconfig.mlu terminal in
+  Metrics.set_gauge g_quiescent quiescent_mlu;
+  let distinct_states = Scenario.Tbl.length memo in
+  Metrics.add c_states distinct_states;
+  Trace.add_attr "events" (Trace.Int ne);
+  Trace.add_attr "deliveries" (Trace.Int (Array.length deliveries));
+  Trace.add_attr "states" (Trace.Int distinct_states);
+  {
+    terminal;
+    order_independent;
+    fib_consistent;
+    quiescent_mlu;
+    stats =
+      {
+        events = ne;
+        deliveries = Array.length deliveries;
+        stale = !stat_stale;
+        drops = !stat_drops;
+        retries = !stat_retries;
+        distinct_states;
+        convergence_ms = convergence;
+        transient_mlu_peak = !peak;
+        min_delivered = !min_delivered;
+        violation_windows = List.rev !violations;
+      };
+  }

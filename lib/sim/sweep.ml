@@ -6,8 +6,9 @@
    {e1..ej} is the same whichever order the links fail in, so the state at
    a tree node serves every scenario below it. The engine walks the tree
    depth-first, advancing the R3 algorithms' states with the copy-on-write
-   [Reconfig.step_bidir] (bit-identical to the naive per-scenario
-   rebuild), evaluates per-scenario algorithms at the leaves, and fans
+   [Reconfig.fail] over singleton scenario deltas (bit-identical to the
+   naive per-scenario rebuild), evaluates per-scenario algorithms at the
+   leaves, and fans
    depth-1 subtrees out over [R3_util.Parallel] with slot-indexed result
    assembly, so output never depends on scheduling. *)
 
@@ -115,12 +116,13 @@ let eval_subtree env algs metric cache root_states subtree =
   let out = ref [] in
   let rec walk node states =
     R3_util.Metrics.incr Obs.tree_nodes;
+    let delta = Scenario.of_links env.Eval.graph [ node.link ] in
     let cow = ref 0 in
     let states =
       Array.map
         (Option.map (fun st ->
              incr cow;
-             Reconfig.step_bidir st node.link))
+             Reconfig.fail st delta))
         states
     in
     R3_util.Metrics.add Obs.cow_steps !cow;

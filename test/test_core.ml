@@ -514,7 +514,7 @@ let test_cg_backend_agreement () =
         {
           (Offline.default_config ~f:1) with
           solve_method = Offline.Constraint_gen;
-          lp_backend = backend;
+          core = R3_core.Config.(default |> with_lp_backend backend);
         }
       in
       plan_exn (Offline.compute cfg g tm (Offline.Fixed base))

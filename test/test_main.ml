@@ -14,4 +14,5 @@ let () =
       ("mplsff", Test_mplsff.suite);
       ("sim", Test_sim.suite);
       ("sweep", Test_sweep.suite);
+      ("online", Test_online.suite);
     ]

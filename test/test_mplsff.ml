@@ -110,7 +110,7 @@ let test_forwarding_with_failure_uses_labels () =
   (* Routers have rescaled their local p (Theorem 3 lets them do so
      independently); forwarding uses updated ratios. *)
   let st = R3_core.Reconfig.of_plan plan in
-  let st = R3_core.Reconfig.apply_bidir_failure st e in
+  let st = R3_core.Reconfig.fail st (R3_core.Scenario.of_links g [ e ]) in
   let fib = M.Fib.of_protection g st.R3_core.Reconfig.protection in
   (* Base routing NOT updated at ingress: packets crossing the failed link
      are label-protected mid-path. *)

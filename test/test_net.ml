@@ -325,7 +325,7 @@ let test_path_churn_after_rescaling () =
   | Error m -> Alcotest.fail m
   | Ok plan ->
     let st = R3_core.Reconfig.of_plan plan in
-    let st' = R3_core.Reconfig.apply_bidir_failure st 5 in
+    let st' = R3_core.Reconfig.fail st (R3_core.Scenario.of_links g [ 5 ]) in
     let fresh, total =
       Fd.path_churn g ~before:plan.R3_core.Offline.protection
         ~after:st'.R3_core.Reconfig.protection
