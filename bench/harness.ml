@@ -16,28 +16,27 @@ let smoke = ref false
 
 (* ---------- plan cache ---------- *)
 
-let cache_version = 6
+let cache_version = 7
 
 let cache_dir = ".bench-cache"
 
+(* Cached plans live in the Plan_store snapshot format (versioned,
+   CRC-checked — see DESIGN.md §16), so a stale or torn cache entry is
+   detected and recomputed instead of misread. *)
 let cached_plan key (compute : unit -> (Offline.plan, string) result) =
   let path = Filename.concat cache_dir (Printf.sprintf "v%d-%s.plan" cache_version key) in
-  if Sys.file_exists path then begin
-    let ic = open_in_bin path in
-    let plan : Offline.plan = Marshal.from_channel ic in
-    close_in ic;
-    Ok plan
-  end
-  else begin
+  let recompute () =
     match compute () with
     | Ok plan ->
-      if not (Sys.file_exists cache_dir) then Sys.mkdir cache_dir 0o755;
-      let oc = open_out_bin path in
-      Marshal.to_channel oc plan [];
-      close_out oc;
+      R3_core.Plan_store.save path plan;
       Ok plan
     | Error _ as e -> e
-  end
+  in
+  if Sys.file_exists path then
+    match R3_core.Plan_store.load path with
+    | Ok (plan, _config) -> Ok plan
+    | Error _ -> recompute ()
+  else recompute ()
 
 (* ---------- experiment context ---------- *)
 

@@ -31,6 +31,7 @@ let experiments =
     ("sweep", Sweep_bench.run);
     ("reconfig", Reconfig_bench.run);
     ("online", Online_bench.run);
+    ("plan", Plan_bench.run);
     ("micro", Micro.main);
   ]
 

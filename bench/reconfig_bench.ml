@@ -1,5 +1,5 @@
 (* Online-reconfiguration benchmark: the copy-on-write failure-folding
-   kernel (Reconfig.step / apply_failure) under the three Routing storage
+   kernel (Reconfig.fail / apply_failures) under the three Routing storage
    backends. The protection routing is synthetic (one SPF detour path per
    link, no LP solve) so the bench isolates the substrate: dense rows pay
    O(m) per touched row, sparse rows O(nnz), and the two must stay
@@ -14,6 +14,7 @@ module Traffic = R3_net.Traffic
 module Routing = R3_net.Routing
 module Spf = R3_net.Spf
 module Reconfig = R3_core.Reconfig
+module Scenario = R3_core.Scenario
 module J = R3_util.Json
 module H = Harness
 
@@ -58,7 +59,10 @@ let scenarios g ~seed ~count =
       let b = R3_util.Prng.int rng (Array.length phys) in
       if a = b then [ phys.(a) ] else [ phys.(a); phys.(b) ])
 
-let fold_scenario st links = List.fold_left Reconfig.step_bidir st links
+let fold_scenario st links =
+  List.fold_left
+    (fun st e -> Reconfig.fail st (Scenario.of_links st.Reconfig.graph [ e ]))
+    st links
 
 (* Throughput of the failure-folding kernel alone: replay every scenario
    from the pristine state. *)

@@ -8,6 +8,7 @@
      sweep       - bulk scenario sweep (prefix-sharing engine)
      profile     - end-to-end instrumented run, metrics JSON out
      online      - event-driven online reconfiguration run
+     plan        - plan snapshot utilities (inspect)
      storage     - Table-3-style router storage report *)
 
 module G = R3_net.Graph
@@ -177,9 +178,7 @@ let precompute tag f bidir joint method_ core seed load out metrics =
     (match out with
     | None -> ()
     | Some path ->
-      let oc = open_out_bin path in
-      Marshal.to_channel oc plan [];
-      close_out oc;
+      R3_core.Plan_store.save path ~config:cfg plan;
       Printf.printf "plan saved to %s\n" path);
     emit_metrics metrics
 
@@ -195,7 +194,14 @@ let precompute_cmd =
     Arg.(value & opt string "cg" & info [ "method" ] ~docv:"cg|dual" ~doc:"Solve method.")
   in
   let out_arg =
-    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Save plan.")
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output"; "save" ] ~docv:"FILE"
+          ~doc:
+            "Save the plan as a versioned binary snapshot (reload with \
+             --plan on evaluate/online/sweep; inspect with `r3 plan \
+             inspect').")
   in
   Cmd.v
     (Cmd.info "precompute" ~doc:"Run the R3 offline phase")
@@ -224,10 +230,16 @@ let parse_links g spec =
              exit 2)
          | None -> [ int_of_string part ])
 
+(* Load a plan snapshot or exit with the store's error message. *)
+let load_plan ?expect_graph path =
+  match R3_core.Plan_store.load ?expect_graph path with
+  | Ok (plan, config) -> (plan, config)
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 1
+
 let evaluate plan_path fail_spec =
-  let ic = open_in_bin plan_path in
-  let plan : Offline.plan = Marshal.from_channel ic in
-  close_in ic;
+  let plan, _config = load_plan plan_path in
   let g = plan.Offline.graph in
   let links = parse_links g fail_spec in
   let st = R3_core.Reconfig.apply_failures (R3_core.Reconfig.of_plan plan) links in
@@ -309,15 +321,12 @@ let parse_ks spec =
     Printf.eprintf "bad -k list %S (use e.g. 1,2,3)\n" spec;
     exit 2
 
-let sweep_run tag ks count seed load metric use_cache domains metrics =
+let sweep_run tag ks count seed load metric use_cache domains metrics plan_path =
   let module Eval = R3_sim.Eval in
   let module Sweep = R3_sim.Sweep in
   let module Scenarios = R3_sim.Scenarios in
   let g = load_topology tag in
-  let tm = make_tm g ~seed ~load in
-  let pairs, demands = Traffic.commodities tm in
   let weights = R3_net.Ospf.unit_weights g in
-  let base = R3_net.Ospf.routing g ~weights ~pairs () in
   let metric =
     match metric with
     | "ratio" -> `Ratio
@@ -328,18 +337,29 @@ let sweep_run tag ks count seed load metric use_cache domains metrics =
   in
   let ks = parse_ks ks in
   let kmax = List.fold_left Int.max 1 ks in
-  let cfg =
-    { (Offline.default_config ~f:kmax) with solve_method = Offline.Constraint_gen }
+  let plan_result =
+    match plan_path with
+    | Some path ->
+      let plan, _config = load_plan ~expect_graph:g path in
+      Printf.eprintf "plan loaded from %s (offline LP skipped)\n%!" path;
+      Ok plan
+    | None ->
+      let tm = make_tm g ~seed ~load in
+      let pairs, _ = Traffic.commodities tm in
+      let base = R3_net.Ospf.routing g ~weights ~pairs () in
+      let cfg =
+        { (Offline.default_config ~f:kmax) with solve_method = Offline.Constraint_gen }
+      in
+      R3_core.Structured.compute cfg g tm
+        { R3_core.Structured.srlgs = bidir_groups g; mlgs = []; k = kmax }
+        (Offline.Fixed base)
   in
-  match
-    R3_core.Structured.compute cfg g tm
-      { R3_core.Structured.srlgs = bidir_groups g; mlgs = []; k = kmax }
-      (Offline.Fixed base)
-  with
+  match plan_result with
   | Error m ->
     Printf.eprintf "R3 precompute failed: %s\n" m;
     exit 1
   | Ok plan ->
+    let pairs = plan.Offline.pairs and demands = plan.Offline.demands in
     let env = Eval.make_env g ~weights ~pairs ~demands ~ospf_r3:plan () in
     (* k <= 2 is enumerated in full (as in the paper); larger k is sampled. *)
     let scenarios =
@@ -403,11 +423,20 @@ let sweep_cmd =
   let domains_arg =
     Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"D" ~doc:"Parallel domain count (default: available cores).")
   in
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"FILE"
+          ~doc:
+            "Reuse a saved plan snapshot (from `precompute --save') instead \
+             of re-running the offline LP; must match the topology of $(b,-t).")
+  in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Bulk scenario sweep (prefix-sharing engine)")
     Term.(
       const sweep_run $ topology_arg $ ks_arg $ count_arg $ seed_arg $ load_arg
-      $ metric_arg $ cache_arg $ domains_arg $ metrics_arg)
+      $ metric_arg $ cache_arg $ domains_arg $ metrics_arg $ plan_arg)
 
 (* ---- profile ---- *)
 
@@ -506,23 +535,31 @@ let profile_cmd =
 
 (* ---- online ---- *)
 
-let online tag f n_events faults fibs core seed load metrics =
+let online tag f n_events faults fibs core seed load metrics plan_path ckpt
+    ckpt_every =
   let module Online = R3_sim.Online in
   let g = load_topology tag in
-  let tm = make_tm g ~seed ~load in
-  let pairs, _ = Traffic.commodities tm in
-  let base =
-    R3_net.Ospf.routing g ~weights:(R3_net.Ospf.unit_weights g) ~pairs ()
+  let plan_result =
+    match plan_path with
+    | Some path ->
+      let plan, _config = load_plan ~expect_graph:g path in
+      Printf.eprintf "plan loaded from %s (offline LP/CG skipped)\n%!" path;
+      Ok plan
+    | None ->
+      let tm = make_tm g ~seed ~load in
+      let pairs, _ = Traffic.commodities tm in
+      let base =
+        R3_net.Ospf.routing g ~weights:(R3_net.Ospf.unit_weights g) ~pairs ()
+      in
+      let cfg =
+        Offline.with_core core
+          { (Offline.default_config ~f) with solve_method = Offline.Constraint_gen }
+      in
+      R3_core.Structured.compute cfg g tm
+        { R3_core.Structured.srlgs = bidir_groups g; mlgs = []; k = f }
+        (Offline.Fixed base)
   in
-  let cfg =
-    Offline.with_core core
-      { (Offline.default_config ~f) with solve_method = Offline.Constraint_gen }
-  in
-  match
-    R3_core.Structured.compute cfg g tm
-      { R3_core.Structured.srlgs = bidir_groups g; mlgs = []; k = f }
-      (Offline.Fixed base)
-  with
+  match plan_result with
   | Error m ->
     Printf.eprintf "R3 precompute failed: %s\n" m;
     exit 1
@@ -535,11 +572,46 @@ let online tag f n_events faults fibs core seed load metrics =
       if faults then Online.Channel.faulty Online.Channel.default_faults
       else Online.Channel.ideal ()
     in
-    let o, dt =
-      R3_util.Timer.time (fun () ->
-          Online.run ~channel ~seed ~mlu_bound:plan.Offline.mlu ~fibs root
-            schedule)
+    let drive () =
+      match ckpt with
+      | None ->
+        Online.run ~channel ~seed ~mlu_bound:plan.Offline.mlu ~fibs root
+          schedule
+      | Some path ->
+        (* Resume from an existing checkpoint, then run in stop_after-sized
+           slices, persisting the protocol state after each; the file is
+           removed once the run completes. *)
+        let resume =
+          if Sys.file_exists path then begin
+            match Online.Checkpoint.load path with
+            | Ok ck ->
+              Printf.eprintf "resuming from %s (delivery cursor %d)\n%!" path
+                (Online.Checkpoint.cursor ck);
+              Some ck
+            | Error msg ->
+              Printf.eprintf "%s\n" msg;
+              exit 1
+          end
+          else None
+        in
+        let rec go resume =
+          match
+            Online.run_to ~channel ~seed ~mlu_bound:plan.Offline.mlu ~fibs
+              ?resume ~stop_after:ckpt_every root schedule
+          with
+          | `Paused ck ->
+            Online.Checkpoint.save path ck;
+            go (Some ck)
+          | `Done o ->
+            (try Sys.remove path with Sys_error _ -> ());
+            o
+        in
+        (try go resume
+         with Invalid_argument msg ->
+           Printf.eprintf "%s\n" msg;
+           exit 1)
     in
+    let o, dt = R3_util.Timer.time drive in
     let s = o.Online.stats in
     Printf.printf "online %s: F=%d, plan MLU* = %.4f, channel = %s\n" tag f
       plan.Offline.mlu
@@ -593,11 +665,80 @@ let online_cmd =
   let fibs_arg =
     Arg.(value & flag & info [ "fibs" ] ~doc:"Also maintain per-router MPLS-ff FIBs and check them against a full rebuild.")
   in
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"FILE"
+          ~doc:
+            "Reuse a saved plan snapshot (from `precompute --save') instead \
+             of re-running the offline LP/CG; must match the topology of \
+             $(b,-t).")
+  in
+  let ckpt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"PATH"
+          ~doc:
+            "Crash-safe warm restart: periodically persist the per-router \
+             protocol state to PATH, resume from it when it exists, and \
+             remove it on completion.")
+  in
+  let ckpt_every_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Notification deliveries between checkpoint saves.")
+  in
   Cmd.v
     (Cmd.info "online" ~doc:"Event-driven online reconfiguration run")
     Term.(
       const online $ topology_arg $ f_arg $ events_arg $ faults_arg $ fibs_arg
-      $ core_config_term $ seed_arg $ load_arg $ metrics_arg)
+      $ core_config_term $ seed_arg $ load_arg $ metrics_arg $ plan_arg
+      $ ckpt_arg $ ckpt_every_arg)
+
+(* ---- plan (snapshot utilities) ---- *)
+
+let plan_inspect path =
+  match R3_core.Plan_store.inspect path with
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 1
+  | Ok i ->
+    let open R3_core.Plan_store in
+    Printf.printf "%s: R3 plan snapshot, format v%d, %d bytes\n" path i.version
+      i.bytes;
+    Printf.printf "  fingerprint %s\n" i.fingerprint;
+    Printf.printf "  topology    %d nodes, %d directed links\n" i.nodes i.links;
+    Printf.printf "  workload    %d commodities\n" i.commodities;
+    Printf.printf "  protection  F = %d, MLU over d+X = %.4f (%s)\n" i.f i.mlu
+      (if i.mlu <= 1.0 then "congestion-free" else "best-effort");
+    Printf.printf "  solved via  %s, lp backend %s, seed %d\n"
+      (match i.solve_method with
+      | Offline.Dualized -> "dualized LP (7)"
+      | Offline.Constraint_gen -> "constraint generation")
+      (R3_lp.Problem.backend_name i.config.Offline.core.R3_core.Config.lp_backend)
+      i.config.Offline.core.R3_core.Config.seed;
+    Printf.printf "  row storage %s backend; %d/%d sparse rows (base), %d/%d \
+                   sparse rows (protection)\n"
+      (R3_net.Routing.Backend.to_string
+         i.config.Offline.core.R3_core.Config.routing_backend)
+      i.base_sparse_rows i.commodities i.protection_sparse_rows i.links
+
+let plan_cmd =
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Plan snapshot file.")
+  in
+  let inspect_cmd =
+    Cmd.v
+      (Cmd.info "inspect" ~doc:"Validate and describe a plan snapshot")
+      Term.(const plan_inspect $ path_arg)
+  in
+  Cmd.group (Cmd.info "plan" ~doc:"Plan snapshot utilities") [ inspect_cmd ]
 
 (* ---- storage ---- *)
 
@@ -632,4 +773,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ topologies_cmd; precompute_cmd; evaluate_cmd; compare_cmd; sweep_cmd;
-            profile_cmd; online_cmd; storage_cmd ]))
+            profile_cmd; online_cmd; plan_cmd; storage_cmd ]))

@@ -51,7 +51,7 @@ let () =
       (100.0 *. Reconfig.delivered_fraction !st);
     List.iter
       (fun (name, link) ->
-        st := Reconfig.apply_bidir_failure !st link;
+        st := Reconfig.fail !st (R3_core.Scenario.of_links g [ link ]);
         Format.printf "%-24s %8.3f %11.1f%%@." name (Reconfig.mlu !st)
           (100.0 *. Reconfig.delivered_fraction !st))
       failures;

@@ -31,7 +31,7 @@ let () =
     (* Online phase: fail the diagonal (both directions). *)
     let diag = Option.get (G.find_link g 0 2) in
     let st = Reconfig.of_plan plan in
-    let st = Reconfig.apply_bidir_failure st diag in
+    let st = Reconfig.fail st (R3_core.Scenario.of_links g [ diag ]) in
     Format.printf "after failing %s-%s: MLU = %.3f, delivered = %.1f%%@."
       (G.node_name g 0) (G.node_name g 2) (Reconfig.mlu st)
       (100.0 *. Reconfig.delivered_fraction st);

@@ -1,0 +1,396 @@
+(* Versioned binary snapshots of offline plans; format notes in
+   plan_store.mli and DESIGN.md §16. *)
+
+module Codec = R3_util.Codec
+module Rowvec = R3_util.Rowvec
+module G = R3_net.Graph
+module Routing = R3_net.Routing
+module W = Codec.W
+module R = Codec.R
+
+let magic = "R3PLANSS"
+let version = 1
+
+(* --- graph section ----------------------------------------------------- *)
+
+let enc_graph g =
+  let w = W.create () in
+  let n = G.num_nodes g and m = G.num_links g in
+  W.i32 w n;
+  for v = 0 to n - 1 do
+    W.string w (G.node_name g v)
+  done;
+  W.i32 w m;
+  for e = 0 to m - 1 do
+    W.i32 w (G.src g e);
+    W.i32 w (G.dst g e);
+    W.float w (G.capacity g e);
+    W.float w (G.delay g e)
+  done;
+  W.contents w
+
+let dec_graph s =
+  let r = R.of_string s in
+  let n = R.i32 r in
+  if n < 0 then raise (R.Corrupt "negative node count");
+  let node_names = Array.init n (fun _ -> R.string r) in
+  let m = R.i32 r in
+  if m < 0 then raise (R.Corrupt "negative link count");
+  let links =
+    Array.init m (fun _ ->
+        let a = R.i32 r in
+        let b = R.i32 r in
+        let cap = R.float r in
+        let delay = R.float r in
+        if a < 0 || a >= n || b < 0 || b >= n then
+          raise (R.Corrupt "link endpoint out of range");
+        (a, b, cap, delay))
+  in
+  R.expect_end r;
+  G.create ~node_names ~links
+
+let graph_fingerprint g = Digest.to_hex (Digest.string (enc_graph g))
+
+(* --- config section ---------------------------------------------------- *)
+
+let enc_option w enc = function
+  | None -> W.bool w false
+  | Some v ->
+    W.bool w true;
+    enc v
+
+let dec_option r dec = if R.bool r then Some (dec ()) else None
+
+let method_tag = function Offline.Dualized -> 0 | Offline.Constraint_gen -> 1
+
+let method_of_tag = function
+  | 0 -> Offline.Dualized
+  | 1 -> Offline.Constraint_gen
+  | n -> raise (R.Corrupt (Printf.sprintf "unknown solve method tag %d" n))
+
+let lp_backend_tag = function `Dense -> 0 | `Sparse -> 1 | `Revised -> 2
+
+let lp_backend_of_tag = function
+  | 0 -> `Dense
+  | 1 -> `Sparse
+  | 2 -> `Revised
+  | n -> raise (R.Corrupt (Printf.sprintf "unknown lp backend tag %d" n))
+
+let routing_backend_tag = function
+  | Routing.Backend.Dense -> 0
+  | Routing.Backend.Sparse -> 1
+  | Routing.Backend.Auto -> 2
+
+let routing_backend_of_tag = function
+  | 0 -> Routing.Backend.Dense
+  | 1 -> Routing.Backend.Sparse
+  | 2 -> Routing.Backend.Auto
+  | n -> raise (R.Corrupt (Printf.sprintf "unknown routing backend tag %d" n))
+
+let enc_config (cfg : Offline.config) =
+  let w = W.create () in
+  W.i32 w cfg.f;
+  W.float w cfg.loop_penalty;
+  enc_option w
+    (fun (beta, mlu) ->
+      W.float w beta;
+      W.float w mlu)
+    cfg.envelope;
+  enc_option w (W.float w) cfg.delay_envelope;
+  W.u8 w (method_tag cfg.solve_method);
+  enc_option w (W.int w) cfg.max_pivots;
+  W.i32 w cfg.cg_max_rounds;
+  W.bool w cfg.cg_warm_start;
+  W.u8 w (lp_backend_tag cfg.core.lp_backend);
+  W.u8 w (routing_backend_tag cfg.core.routing_backend);
+  W.int w cfg.core.seed;
+  W.float w cfg.core.mcf_epsilon;
+  W.float w cfg.core.rescale_tol;
+  W.contents w
+
+let dec_config s : Offline.config =
+  let r = R.of_string s in
+  let f = R.i32 r in
+  let loop_penalty = R.float r in
+  let envelope =
+    dec_option r (fun () ->
+        let beta = R.float r in
+        let mlu = R.float r in
+        (beta, mlu))
+  in
+  let delay_envelope = dec_option r (fun () -> R.float r) in
+  let solve_method = method_of_tag (R.u8 r) in
+  let max_pivots = dec_option r (fun () -> R.int r) in
+  let cg_max_rounds = R.i32 r in
+  let cg_warm_start = R.bool r in
+  let lp_backend = lp_backend_of_tag (R.u8 r) in
+  let routing_backend = routing_backend_of_tag (R.u8 r) in
+  let seed = R.int r in
+  let mcf_epsilon = R.float r in
+  let rescale_tol = R.float r in
+  R.expect_end r;
+  {
+    f;
+    loop_penalty;
+    envelope;
+    delay_envelope;
+    solve_method;
+    max_pivots;
+    cg_max_rounds;
+    cg_warm_start;
+    core = { lp_backend; routing_backend; seed; mcf_epsilon; rescale_tol };
+  }
+
+(* --- workload section (commodities + demands) -------------------------- *)
+
+let enc_workload ~pairs ~demands =
+  let w = W.create () in
+  W.i32 w (Array.length pairs);
+  Array.iter
+    (fun (a, b) ->
+      W.i32 w a;
+      W.i32 w b)
+    pairs;
+  W.float_array w demands;
+  W.contents w
+
+let dec_workload s =
+  let r = R.of_string s in
+  let nk = R.i32 r in
+  if nk < 0 then raise (R.Corrupt "negative commodity count");
+  let pairs =
+    Array.init nk (fun _ ->
+        let a = R.i32 r in
+        let b = R.i32 r in
+        (a, b))
+  in
+  let demands = R.float_array r in
+  if Array.length demands <> nk then
+    raise (R.Corrupt "demand array does not match commodity count");
+  R.expect_end r;
+  (pairs, demands)
+
+(* --- routings ---------------------------------------------------------- *)
+
+(* Rows are written in their exact stored representation (dense payloads
+   dense, sparse payloads sparse) so a reload reproduces not just the
+   values but the storage mix — an [Auto] routing keeps whatever
+   densification decisions the solve made. *)
+let enc_routing w rt =
+  W.u8 w (routing_backend_tag (Routing.backend rt));
+  let nk = Routing.num_commodities rt in
+  W.i32 w nk;
+  Array.iter
+    (fun (a, b) ->
+      W.i32 w a;
+      W.i32 w b)
+    (Routing.pairs rt);
+  for k = 0 to nk - 1 do
+    match Routing.row_storage rt k with
+    | `Dense a ->
+      W.u8 w 0;
+      W.float_array w a
+    | `Sparse v ->
+      W.u8 w 1;
+      let idx, vals, n = Rowvec.raw v in
+      W.int_array w (Array.sub idx 0 n);
+      W.float_array w (Array.sub vals 0 n)
+  done
+
+let dec_routing r g =
+  let backend = routing_backend_of_tag (R.u8 r) in
+  let nk = R.i32 r in
+  if nk < 0 then raise (R.Corrupt "negative routing row count");
+  let pairs =
+    Array.init nk (fun _ ->
+        let a = R.i32 r in
+        let b = R.i32 r in
+        (a, b))
+  in
+  let rt = Routing.create ~backend g ~pairs in
+  for k = 0 to nk - 1 do
+    let storage =
+      match R.u8 r with
+      | 0 -> `Dense (R.float_array r)
+      | 1 ->
+        let idx = R.int_array r in
+        let vals = R.float_array r in
+        let n = Array.length idx in
+        if Array.length vals <> n then
+          raise (R.Corrupt "sparse row index/value length mismatch");
+        for i = 1 to n - 1 do
+          if idx.(i - 1) >= idx.(i) then
+            raise (R.Corrupt "sparse row indices not strictly ascending")
+        done;
+        `Sparse (Rowvec.of_sorted idx vals n)
+      | t -> raise (R.Corrupt (Printf.sprintf "unknown row payload tag %d" t))
+    in
+    try Routing.set_row_storage rt k storage
+    with Invalid_argument msg -> raise (R.Corrupt msg)
+  done;
+  rt
+
+(* --- plan snapshots ---------------------------------------------------- *)
+
+let sections ~config (plan : Offline.plan) =
+  ( enc_graph plan.graph,
+    enc_config config,
+    enc_workload ~pairs:plan.pairs ~demands:plan.demands )
+
+let fingerprint_of_sections gs cs ws =
+  Digest.to_hex (Digest.string (gs ^ cs ^ ws))
+
+let fingerprint ~config plan =
+  let gs, cs, ws = sections ~config plan in
+  fingerprint_of_sections gs cs ws
+
+let save path ?config (plan : Offline.plan) =
+  let config =
+    match config with Some c -> c | None -> Offline.default_config ~f:plan.f
+  in
+  let gs, cs, ws = sections ~config plan in
+  let w = W.create ~size:(1 lsl 16) () in
+  W.string w (fingerprint_of_sections gs cs ws);
+  W.string w gs;
+  W.string w cs;
+  W.string w ws;
+  enc_routing w plan.base;
+  enc_routing w plan.protection;
+  W.float w plan.mlu;
+  W.i32 w plan.f;
+  W.int w plan.lp_vars;
+  W.int w plan.lp_rows;
+  W.int w plan.lp_pivots;
+  Codec.write_framed path ~magic ~version (W.contents w)
+
+let decode_payload payload =
+  let r = R.of_string payload in
+  let stored_fp = R.string r in
+  let gs = R.string r in
+  let cs = R.string r in
+  let ws = R.string r in
+  let actual_fp = fingerprint_of_sections gs cs ws in
+  if stored_fp <> actual_fp then
+    raise
+      (R.Corrupt
+         (Printf.sprintf "fingerprint mismatch (stored %s, computed %s)"
+            stored_fp actual_fp));
+  let graph = dec_graph gs in
+  let config = dec_config cs in
+  let pairs, demands = dec_workload ws in
+  let base = dec_routing r graph in
+  let protection = dec_routing r graph in
+  let mlu = R.float r in
+  let f = R.i32 r in
+  let lp_vars = R.int r in
+  let lp_rows = R.int r in
+  let lp_pivots = R.int r in
+  R.expect_end r;
+  let plan : Offline.plan =
+    { graph; f; pairs; demands; base; protection; mlu; lp_vars; lp_rows; lp_pivots }
+  in
+  (plan, config, actual_fp, gs, cs)
+
+let load ?expect_graph ?expect_config path =
+  match Codec.read_framed path ~magic ~version with
+  | Error _ as e -> e
+  | Ok payload -> (
+    match decode_payload payload with
+    | exception R.Corrupt msg ->
+      Error (Printf.sprintf "%s: malformed plan snapshot: %s" path msg)
+    | plan, config, _fp, gs, cs ->
+      let graph_ok =
+        match expect_graph with
+        | Some g when enc_graph g <> gs ->
+          Error
+            (Printf.sprintf
+               "%s: plan was solved for a different topology (%d nodes / %d \
+                links in snapshot)"
+               path
+               (G.num_nodes plan.graph)
+               (G.num_links plan.graph))
+        | _ -> Ok ()
+      in
+      let config_ok =
+        match expect_config with
+        | Some c when enc_config c <> cs ->
+          Error
+            (Printf.sprintf
+               "%s: plan was solved under a different configuration" path)
+        | _ -> Ok ()
+      in
+      (match (graph_ok, config_ok) with
+      | Error e, _ | _, Error e -> Error e
+      | Ok (), Ok () -> Ok (plan, config)))
+
+type info = {
+  version : int;
+  bytes : int;
+  fingerprint : string;
+  nodes : int;
+  links : int;
+  commodities : int;
+  f : int;
+  mlu : float;
+  solve_method : Offline.method_;
+  config : Offline.config;
+  base_sparse_rows : int;
+  protection_sparse_rows : int;
+}
+
+let inspect path =
+  match Codec.read_framed path ~magic ~version with
+  | Error _ as e -> e
+  | Ok payload -> (
+    match decode_payload payload with
+    | exception R.Corrupt msg ->
+      Error (Printf.sprintf "%s: malformed plan snapshot: %s" path msg)
+    | plan, config, fp, _gs, _cs ->
+      let bytes = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0 in
+      Ok
+        {
+          version;
+          bytes;
+          fingerprint = fp;
+          nodes = G.num_nodes plan.graph;
+          links = G.num_links plan.graph;
+          commodities = Array.length plan.pairs;
+          f = plan.f;
+          mlu = plan.mlu;
+          solve_method = config.solve_method;
+          config;
+          base_sparse_rows = Routing.sparse_rows plan.base;
+          protection_sparse_rows = Routing.sparse_rows plan.protection;
+        })
+
+(* --- traffic snapshots ------------------------------------------------- *)
+
+let traffic_magic = "R3TMSNAP"
+let traffic_version = 1
+
+let save_traffic path (tm : R3_net.Traffic.t) =
+  let w = W.create () in
+  W.i32 w (Array.length tm);
+  Array.iter (W.float_array w) tm;
+  Codec.write_framed path ~magic:traffic_magic ~version:traffic_version
+    (W.contents w)
+
+let load_traffic path =
+  match Codec.read_framed path ~magic:traffic_magic ~version:traffic_version with
+  | Error _ as e -> e
+  | Ok payload -> (
+    try
+      let r = R.of_string payload in
+      let n = R.i32 r in
+      if n < 0 then raise (R.Corrupt "negative matrix dimension");
+      let tm =
+        Array.init n (fun _ ->
+            let row = R.float_array r in
+            if Array.length row <> n then
+              raise (R.Corrupt "traffic matrix is not square");
+            row)
+      in
+      R.expect_end r;
+      Ok tm
+    with R.Corrupt msg ->
+      Error (Printf.sprintf "%s: malformed traffic snapshot: %s" path msg))

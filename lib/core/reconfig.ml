@@ -95,10 +95,6 @@ let fail_one st e =
     { st with base; protection; failed }
   end
 
-let fail_bidir st e =
-  let st = fail_one st e in
-  match G.reverse_link st.graph e with Some r -> fail_one st r | None -> st
-
 (* Canonical application order of a set of directed links: by physical
    representative ascending, representative before reverse — exactly the
    order [Scenario.links] lists, extended to orphan directed links. Every
@@ -146,15 +142,7 @@ let recover st sc =
     List.fold_left fail_one (pristine st) remaining
   end
 
-let apply_failure = fail_one
-
-let apply_bidir_failure = fail_bidir
-
 let apply_failures st links = List.fold_left fail_one st links
-
-let step = fail_one
-
-let step_bidir = fail_bidir
 
 let states_bit_identical a b =
   let matrix_eq x y =

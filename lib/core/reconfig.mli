@@ -13,10 +13,10 @@
     The primary API is the {!fail}/{!recover} pair over {!Scenario.t}
     deltas: a state is always the canonical batch application of its
     failed set, folded in canonical scenario order, so two states with
-    the same failed set are bit-identical however they were reached. The
-    older per-directed-link entry points ([step], [apply_failure] and the
-    bidirectional variants) are kept one PR cycle as deprecated
-    wrappers. *)
+    the same failed set are bit-identical however they were reached.
+    {!apply_failures} remains for explicitly-directed failure sequences
+    (tests and the detour unit checks); the per-directed-link wrappers
+    deprecated in the previous cycle are gone. *)
 
 type state = {
   graph : R3_net.Graph.t;
@@ -96,25 +96,3 @@ val mlu : state -> float
 
 (** Fraction of total demand still delivered (1.0 absent partitions). *)
 val delivered_fraction : state -> float
-
-(** {2 Deprecated per-directed-link interface}
-
-    Kept for one PR cycle; all four collapse into {!fail} over singleton
-    scenarios (they were already one shared failure kernel, so the new
-    API runs the identical arithmetic). *)
-
-(** Fail a single directed link. *)
-val apply_failure : state -> R3_net.Graph.link -> state
-[@@ocaml.deprecated "use Reconfig.fail over a Scenario.t delta"]
-
-(** Fail a link and its reverse direction (physical failure). *)
-val apply_bidir_failure : state -> R3_net.Graph.link -> state
-[@@ocaml.deprecated "use Reconfig.fail over a Scenario.t delta"]
-
-(** Copy-on-write [apply_failure] (the same kernel). *)
-val step : state -> R3_net.Graph.link -> state
-[@@ocaml.deprecated "use Reconfig.fail over a Scenario.t delta"]
-
-(** Copy-on-write [apply_bidir_failure] (the same kernel). *)
-val step_bidir : state -> R3_net.Graph.link -> state
-[@@ocaml.deprecated "use Reconfig.fail over a Scenario.t delta"]

@@ -45,7 +45,19 @@ let compare a b =
   go 0
 
 let equal a b = compare a b = 0
-let hash t = Hashtbl.hash t.phys
+
+(* [Hashtbl.hash] stops after ~10 meaningful values, so scenarios sharing
+   their first 10 physical representatives all collide and [Tbl] degrades
+   to a linked list under large failure budgets. Mix every element instead
+   (boost-style hash_combine); [land max_int] keeps the result
+   non-negative as Hashtbl requires. *)
+let hash t =
+  let h =
+    Array.fold_left
+      (fun h x -> h lxor (x + 0x9e3779b9 + (h lsl 6) + (h lsr 2)))
+      (Array.length t.phys) t.phys
+  in
+  h land max_int
 
 let key t =
   String.concat "+" (Array.to_list (Array.map string_of_int t.phys))

@@ -40,6 +40,9 @@ val is_empty : t -> bool
 val compare : t -> t -> int
 
 val equal : t -> t -> bool
+
+(** Mixes {e every} physical representative (unlike [Hashtbl.hash], which
+    stops after ~10 values and collides all scenarios sharing a prefix). *)
 val hash : t -> int
 
 (** Stable textual key, e.g. ["3+7+12"] — the scenario part of the MCF

@@ -244,6 +244,34 @@ let set_row_dense t k row =
   t.own_gen.(k) <- Atomic.get t.share_gen;
   Atomic.set t.cols None
 
+(* Exact-representation accessors for the plan store: a snapshot must
+   round-trip the payload kind itself (not just the values), so a reloaded
+   plan keeps its dense/sparse row mix bit-for-bit. *)
+let row_storage t k =
+  match rget t.rows k with
+  | D a -> `Dense (Array.copy a)
+  | S r -> `Sparse (Rowvec.copy r)
+
+let set_row_storage t k storage =
+  let data =
+    match storage with
+    | `Dense a ->
+      if Array.length a <> t.m then
+        invalid_arg "Routing.set_row_storage: bad dense length";
+      D a
+    | `Sparse r ->
+      Rowvec.iter
+        (fun e _ ->
+          if e < 0 || e >= t.m then
+            invalid_arg "Routing.set_row_storage: sparse index out of range")
+        r;
+      S r
+  in
+  count_payload data;
+  rset t.rows k data;
+  t.own_gen.(k) <- Atomic.get t.share_gen;
+  Atomic.set t.cols None
+
 let to_dense_matrix t = Array.init (num_commodities t) (row_dense t)
 
 let sparse_rows t =

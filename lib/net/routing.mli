@@ -97,6 +97,20 @@ val row_vec : t -> int -> R3_util.Rowvec.t
     (converted to the row's backend representation; [row] not retained). *)
 val set_row_dense : t -> int -> float array -> unit
 
+(** [row_storage t k] is the exact stored representation of row [k] —
+    dense rows come back dense, sparse rows sparse (fresh copies). The
+    plan store uses this so a snapshot preserves the payload mix, not
+    just the values. *)
+val row_storage : t -> int -> [ `Dense of float array | `Sparse of R3_util.Rowvec.t ]
+
+(** [set_row_storage t k s] installs exactly the given representation as
+    row [k] (taking ownership of the array/vector), bypassing the
+    backend's usual conversion — the inverse of {!row_storage}. Raises
+    [Invalid_argument] on a dense length or sparse index that does not
+    fit the link space. *)
+val set_row_storage :
+  t -> int -> [ `Dense of float array | `Sparse of R3_util.Rowvec.t ] -> unit
+
 (** [to_dense_matrix t] is every row as a fresh dense array — the
     representation-independent image used by equality checks and tests. *)
 val to_dense_matrix : t -> float array array

@@ -157,8 +157,163 @@ let g_quiescent = Metrics.gauge "r3.online.quiescent_mlu"
 let copy_rng ~seed ~ev ~router =
   Prng.create ((seed * 0x2545F49) lxor ((ev + 1) * 1_000_003) lxor ((router + 1) * 7919))
 
-let run ?(channel = Channel.ideal ()) ?(seed = 0) ?(mlu_bound = infinity)
-    ?(fibs = false) root events =
+(* ---- checkpoints ---- *)
+
+module Checkpoint = struct
+  module Codec = R3_util.Codec
+  module W = Codec.W
+  module R = Codec.R
+
+  (* Everything the delivery loop accumulates; the delivery schedule
+     itself is NOT stored — it is a deterministic function of
+     (root, events, channel, seed) and is re-expanded on resume, with
+     [digest] guaranteeing the checkpoint belongs to that same run. *)
+  type t = {
+    digest : string;
+    cursor : int;  (* deliveries already processed *)
+    stale : int;
+    seen : int array array;
+    belief : bool array array;
+    dp_belief : bool array;
+    pending : int array;
+    convergence : float array;
+    peak : float;
+    min_delivered : float;
+    violation_start : float option;
+    violations : (float * float) list;  (* newest first, like the run *)
+    last_at : float;
+  }
+
+  let magic = "R3ONLNCK"
+  let version = 1
+  let cursor t = t.cursor
+
+  let bools_to_string a =
+    String.init (Array.length a) (fun i -> if a.(i) then '\001' else '\000')
+
+  let bools_of_string s =
+    Array.init (String.length s) (fun i ->
+        match s.[i] with
+        | '\000' -> false
+        | '\001' -> true
+        | c -> raise (R.Corrupt (Printf.sprintf "bad bool byte %d" (Char.code c))))
+
+  let save path t =
+    let w = W.create () in
+    W.string w t.digest;
+    W.int w t.cursor;
+    W.int w t.stale;
+    W.i32 w (Array.length t.seen);
+    Array.iter (W.int_array w) t.seen;
+    Array.iter (fun row -> W.string w (bools_to_string row)) t.belief;
+    W.string w (bools_to_string t.dp_belief);
+    W.int_array w t.pending;
+    W.float_array w t.convergence;
+    W.float w t.peak;
+    W.float w t.min_delivered;
+    (match t.violation_start with
+    | None -> W.bool w false
+    | Some v ->
+      W.bool w true;
+      W.float w v);
+    W.i32 w (List.length t.violations);
+    List.iter
+      (fun (a, b) ->
+        W.float w a;
+        W.float w b)
+      t.violations;
+    W.float w t.last_at;
+    Codec.write_framed path ~magic ~version (W.contents w)
+
+  let load path =
+    match Codec.read_framed path ~magic ~version with
+    | Error _ as e -> e
+    | Ok payload -> (
+      try
+        let r = R.of_string payload in
+        let digest = R.string r in
+        let cursor = R.int r in
+        let stale = R.int r in
+        let n = R.i32 r in
+        if n < 0 then raise (R.Corrupt "negative router count");
+        let seen = Array.init n (fun _ -> R.int_array r) in
+        let belief = Array.init n (fun _ -> bools_of_string (R.string r)) in
+        let dp_belief = bools_of_string (R.string r) in
+        let pending = R.int_array r in
+        let convergence = R.float_array r in
+        let peak = R.float r in
+        let min_delivered = R.float r in
+        let violation_start = if R.bool r then Some (R.float r) else None in
+        let nv = R.i32 r in
+        if nv < 0 || nv > R.remaining r / 16 then
+          raise (R.Corrupt "bad violation window count");
+        let violations =
+          List.init nv (fun _ ->
+              let a = R.float r in
+              let b = R.float r in
+              (a, b))
+        in
+        let last_at = R.float r in
+        R.expect_end r;
+        Ok
+          {
+            digest;
+            cursor;
+            stale;
+            seen;
+            belief;
+            dp_belief;
+            pending;
+            convergence;
+            peak;
+            min_delivered;
+            violation_start;
+            violations;
+            last_at;
+          }
+      with R.Corrupt msg ->
+        Error (Printf.sprintf "%s: malformed checkpoint: %s" path msg))
+end
+
+(* Identity of a run: the checkpointed protocol state is only meaningful
+   against the exact same root plan, event schedule, channel and seed. *)
+let run_digest ~channel ~seed ~mlu_bound ~fibs root events =
+  let module W = R3_util.Codec.W in
+  let w = W.create () in
+  W.string w (R3_core.Plan_store.graph_fingerprint root.Reconfig.graph);
+  W.i32 w (Array.length root.Reconfig.pairs);
+  Array.iter
+    (fun (a, b) ->
+      W.i32 w a;
+      W.i32 w b)
+    root.Reconfig.pairs;
+  W.float_array w root.Reconfig.demands;
+  W.i32 w (Array.length events);
+  Array.iter
+    (fun ev ->
+      W.float w ev.at_ms;
+      W.i32 w ev.link;
+      W.u8 w (match ev.kind with Fail -> 0 | Recover -> 1))
+    events;
+  W.string w channel.Channel.cname;
+  W.float w channel.Channel.notify.Notify.detection_ms;
+  W.float w channel.Channel.notify.Notify.per_hop_ms;
+  (match channel.Channel.faults with
+  | None -> W.bool w false
+  | Some f ->
+    W.bool w true;
+    W.float w f.Channel.jitter_ms;
+    W.float w f.Channel.dup_prob;
+    W.float w f.Channel.drop_prob;
+    W.int w f.Channel.max_retries;
+    W.float w f.Channel.backoff_ms);
+  W.int w seed;
+  W.float w mlu_bound;
+  W.bool w fibs;
+  Digest.to_hex (Digest.string (W.contents w))
+
+let run_to ?(channel = Channel.ideal ()) ?(seed = 0) ?(mlu_bound = infinity)
+    ?(fibs = false) ?resume ?stop_after root events =
   Trace.with_span "online.run" @@ fun () ->
   let g = root.Reconfig.graph in
   let n = G.num_nodes g in
@@ -174,7 +329,8 @@ let run ?(channel = Channel.ideal ()) ?(seed = 0) ?(mlu_bound = infinity)
         invalid_arg "Online.run: event links must be physical representatives";
       ignore i)
     events;
-  Metrics.add c_events ne;
+  (* On resume the pre-pause portion already counted its events. *)
+  (match resume with None -> Metrics.add c_events ne | Some _ -> ());
   (* True failed set after each event, for notification flooding. *)
   let scenario_after = Array.make ne (Scenario.of_physical g []) in
   let arrival_after = Array.make ne [||] in
@@ -305,8 +461,67 @@ let run ?(channel = Channel.ideal ()) ?(seed = 0) ?(mlu_bound = infinity)
   in
   let stat_stale = ref 0 in
   let last_at = ref 0.0 in
-  Array.iter
-    (fun d ->
+  let nd = Array.length deliveries in
+  let digest = run_digest ~channel ~seed ~mlu_bound ~fibs root events in
+  let start =
+    match resume with
+    | None -> 0
+    | Some (ck : Checkpoint.t) ->
+      if ck.Checkpoint.digest <> digest then
+        invalid_arg
+          "Online.run_to: checkpoint was recorded for a different run \
+           (plan, events, channel or seed differ)";
+      if ck.Checkpoint.cursor < 0 || ck.Checkpoint.cursor > nd then
+        invalid_arg "Online.run_to: checkpoint cursor out of range";
+      (* Restore the protocol state, then rebuild everything derived from
+         it: router views re-fold through [canonical] (memo repopulates
+         from the believed sets), the data-plane state from [dp_belief],
+         and FIBs from a fresh rebuild patched per router — exactly what
+         the incremental updates of the pre-pause loop left behind, since
+         [Fib.update_router] derives a router's entry from the given
+         protection alone. *)
+      for v = 0 to n - 1 do
+        Array.blit ck.Checkpoint.seen.(v) 0 seen.(v) 0 m;
+        Array.blit ck.Checkpoint.belief.(v) 0 belief.(v) 0 m;
+        let reps = ref [] in
+        for e = m - 1 downto 0 do
+          if belief.(v).(e) then reps := e :: !reps
+        done;
+        view.(v) <- canonical (Scenario.of_physical g !reps)
+      done;
+      (match !fib with
+      | None -> ()
+      | Some f0 ->
+        let f = ref f0 in
+        for v = 0 to n - 1 do
+          f := Fib.update_router !f ~router:v view.(v).Reconfig.protection
+        done;
+        fib := Some !f);
+      Array.blit ck.Checkpoint.dp_belief 0 dp_belief 0 m;
+      let dreps = ref [] in
+      for e = m - 1 downto 0 do
+        if dp_belief.(e) then dreps := e :: !dreps
+      done;
+      dp_state := canonical (Scenario.of_physical g !dreps);
+      Array.blit ck.Checkpoint.pending 0 pending 0 ne;
+      Array.blit ck.Checkpoint.convergence 0 convergence 0 ne;
+      peak := ck.Checkpoint.peak;
+      min_delivered := ck.Checkpoint.min_delivered;
+      violation_start := ck.Checkpoint.violation_start;
+      violations := ck.Checkpoint.violations;
+      last_at := ck.Checkpoint.last_at;
+      stat_stale := ck.Checkpoint.stale;
+      ck.Checkpoint.cursor
+  in
+  let stop =
+    match stop_after with
+    | None -> nd
+    | Some k ->
+      if k < 0 then invalid_arg "Online.run_to: negative stop_after";
+      Int.min nd (start + k)
+  in
+  for di = start to stop - 1 do
+    let d = deliveries.(di) in
       Metrics.incr c_deliveries;
       last_at := d.at;
       let ev = events.(d.ev) in
@@ -350,8 +565,27 @@ let run ?(channel = Channel.ideal ()) ?(seed = 0) ?(mlu_bound = infinity)
           dp_state := canonical (Scenario.of_physical g !dreps);
           observe_dp d.at
         end
-      end)
-    deliveries;
+      end
+  done;
+  if stop < nd then
+    `Paused
+      Checkpoint.
+        {
+          digest;
+          cursor = stop;
+          stale = !stat_stale;
+          seen = Array.map Array.copy seen;
+          belief = Array.map Array.copy belief;
+          dp_belief = Array.copy dp_belief;
+          pending = Array.copy pending;
+          convergence = Array.copy convergence;
+          peak = !peak;
+          min_delivered = !min_delivered;
+          violation_start = !violation_start;
+          violations = !violations;
+          last_at = !last_at;
+        }
+  else begin
   (match !violation_start with
   | Some t0 when !last_at > t0 ->
     violations := (t0, !last_at) :: !violations;
@@ -382,22 +616,29 @@ let run ?(channel = Channel.ideal ()) ?(seed = 0) ?(mlu_bound = infinity)
   Trace.add_attr "events" (Trace.Int ne);
   Trace.add_attr "deliveries" (Trace.Int (Array.length deliveries));
   Trace.add_attr "states" (Trace.Int distinct_states);
-  {
-    terminal;
-    order_independent;
-    fib_consistent;
-    quiescent_mlu;
-    stats =
-      {
-        events = ne;
-        deliveries = Array.length deliveries;
-        stale = !stat_stale;
-        drops = !stat_drops;
-        retries = !stat_retries;
-        distinct_states;
-        convergence_ms = convergence;
-        transient_mlu_peak = !peak;
-        min_delivered = !min_delivered;
-        violation_windows = List.rev !violations;
-      };
-  }
+  `Done
+    {
+      terminal;
+      order_independent;
+      fib_consistent;
+      quiescent_mlu;
+      stats =
+        {
+          events = ne;
+          deliveries = Array.length deliveries;
+          stale = !stat_stale;
+          drops = !stat_drops;
+          retries = !stat_retries;
+          distinct_states;
+          convergence_ms = convergence;
+          transient_mlu_peak = !peak;
+          min_delivered = !min_delivered;
+          violation_windows = List.rev !violations;
+        };
+    }
+  end
+
+let run ?channel ?seed ?mlu_bound ?fibs root events =
+  match run_to ?channel ?seed ?mlu_bound ?fibs root events with
+  | `Done outcome -> outcome
+  | `Paused _ -> assert false (* no stop_after: the loop runs to the end *)

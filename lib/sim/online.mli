@@ -119,6 +119,25 @@ type outcome = {
   stats : stats;
 }
 
+(** Crash-safe snapshots of a paused run's protocol state (per-router
+    version vectors and believed-failure views, data-plane beliefs,
+    convergence accounting, transient-MLU bookkeeping). The delivery
+    schedule itself is {e not} stored — it is a deterministic function of
+    (root, events, channel, seed) and is re-expanded on resume; a digest
+    of that tuple is stored instead, so resuming against a different
+    plan, schedule, channel or seed is rejected. Persisted via
+    {!R3_util.Codec} frames (magic ["R3ONLNCK"]): atomic writes,
+    CRC/version-checked loads. *)
+module Checkpoint : sig
+  type t
+
+  (** Deliveries already processed when the checkpoint was taken. *)
+  val cursor : t -> int
+
+  val save : string -> t -> unit
+  val load : string -> (t, string) result
+end
+
 (** [run root events] drives the engine to quiescence. [channel] defaults
     to {!Channel.ideal}; [seed] (default 0) seeds the channel's fault
     streams; [mlu_bound] (default [infinity]) is the plan's congestion
@@ -133,3 +152,26 @@ val run :
   R3_core.Reconfig.state ->
   event list ->
   outcome
+
+(** [run_to ?resume ?stop_after root events] is {!run} with pause/resume:
+    with [stop_after:k] it processes at most [k] further notification
+    deliveries and returns [`Paused checkpoint] if the schedule is not
+    exhausted; with [resume:ck] it restores a checkpoint (rebuilding
+    router views, FIBs and the data-plane state from the believed sets)
+    and continues where the paused run stopped. A completed
+    resumed run returns an {!outcome} whose terminal state — and every
+    per-router view — is bit-identical to the uninterrupted run's
+    ([stats.distinct_states] may legitimately differ: states that were
+    only visited before the pause are not re-materialized). Raises
+    [Invalid_argument] if [resume] was recorded for a different
+    (root, events, channel, seed, mlu_bound, fibs) tuple. *)
+val run_to :
+  ?channel:Channel.t ->
+  ?seed:int ->
+  ?mlu_bound:float ->
+  ?fibs:bool ->
+  ?resume:Checkpoint.t ->
+  ?stop_after:int ->
+  R3_core.Reconfig.state ->
+  event list ->
+  [ `Done of outcome | `Paused of Checkpoint.t ]

@@ -9,7 +9,7 @@
 
     - organizes the canonical scenarios ({!Scenario.t}) into a prefix tree
       over sorted physical-link combinations and walks it depth-first,
-      advancing R3 states with the copy-on-write {!R3_core.Reconfig.step_bidir}
+      advancing R3 states with the copy-on-write {!R3_core.Reconfig.fail}
       — Theorem 3 (order-independent rescaling) guarantees the state at a
       shared prefix is exactly the state every descendant scenario needs,
       and stepped states are bit-identical to per-scenario rebuilds;

@@ -1,0 +1,230 @@
+(* Little-endian binary codec + framed snapshot container; see codec.mli
+   for the frame layout and design notes. *)
+
+(* --- CRC-32 (IEEE, reflected 0xEDB88320), table-driven ----------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx = Int32.to_int (Int32.logand !c 0xFFl) lxor Char.code ch in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* --- writer ------------------------------------------------------------ *)
+
+module W = struct
+  type t = Buffer.t
+
+  let create ?(size = 4096) () = Buffer.create size
+  let contents = Buffer.contents
+  let u8 b v = Buffer.add_uint8 b (v land 0xFF)
+  let i32 b v = Buffer.add_int32_le b (Int32.of_int v)
+  let i64 b v = Buffer.add_int64_le b v
+  let int b v = Buffer.add_int64_le b (Int64.of_int v)
+  let float b v = Buffer.add_int64_le b (Int64.bits_of_float v)
+  let bool b v = u8 b (if v then 1 else 0)
+
+  let string b s =
+    i32 b (String.length s);
+    Buffer.add_string b s
+
+  let int_array b a =
+    i32 b (Array.length a);
+    Array.iter (int b) a
+
+  let float_array b a =
+    i32 b (Array.length a);
+    Array.iter (float b) a
+end
+
+(* --- reader ------------------------------------------------------------ *)
+
+module R = struct
+  type t = { s : string; mutable pos : int }
+
+  exception Corrupt of string
+
+  let of_string s = { s; pos = 0 }
+  let remaining r = String.length r.s - r.pos
+
+  let need r n what =
+    if n < 0 || remaining r < n then
+      raise (Corrupt (Printf.sprintf "truncated input reading %s" what))
+
+  let u8 r =
+    need r 1 "u8";
+    let v = Char.code r.s.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let i32 r =
+    need r 4 "i32";
+    let v = Int32.to_int (String.get_int32_le r.s r.pos) in
+    r.pos <- r.pos + 4;
+    v
+
+  let i64 r =
+    need r 8 "i64";
+    let v = String.get_int64_le r.s r.pos in
+    r.pos <- r.pos + 8;
+    v
+
+  let int r =
+    let v = i64 r in
+    let n = Int64.to_int v in
+    if Int64.of_int n <> v then raise (Corrupt "int field exceeds native range");
+    n
+
+  let float r = Int64.float_of_bits (i64 r)
+
+  let bool r =
+    match u8 r with
+    | 0 -> false
+    | 1 -> true
+    | n -> raise (Corrupt (Printf.sprintf "bool field holds %d" n))
+
+  let length r what =
+    let n = i32 r in
+    (* the prefix must fit in what's left: a corrupt length can neither
+       over-read nor force a giant allocation *)
+    if n < 0 || n > remaining r then
+      raise (Corrupt (Printf.sprintf "bad %s length %d" what n));
+    n
+
+  let string r =
+    let n = length r "string" in
+    let v = String.sub r.s r.pos n in
+    r.pos <- r.pos + n;
+    v
+
+  let int_array r =
+    let n = i32 r in
+    if n < 0 || n > remaining r / 8 then
+      raise (Corrupt (Printf.sprintf "bad int array length %d" n));
+    Array.init n (fun _ -> int r)
+
+  let float_array r =
+    let n = i32 r in
+    if n < 0 || n > remaining r / 8 then
+      raise (Corrupt (Printf.sprintf "bad float array length %d" n));
+    Array.init n (fun _ -> float r)
+
+  let expect_end r =
+    if remaining r <> 0 then
+      raise (Corrupt (Printf.sprintf "%d trailing bytes" (remaining r)))
+end
+
+(* --- framed container -------------------------------------------------- *)
+
+let magic_len = 8
+let header_len = magic_len + 4 + 8 + 4
+
+let check_magic magic =
+  if String.length magic <> magic_len then
+    invalid_arg
+      (Printf.sprintf "Codec: magic must be %d bytes, got %d" magic_len
+         (String.length magic))
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && dir <> "" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_framed path ~magic ~version payload =
+  check_magic magic;
+  mkdir_p (Filename.dirname path);
+  let header = W.create ~size:header_len () in
+  Buffer.add_string header magic;
+  W.i32 header version;
+  W.i64 header (Int64.of_int (String.length payload));
+  Buffer.add_int32_le header (crc32 payload);
+  (* temp + fsync + rename: a crash mid-write leaves any previous snapshot
+     intact; the pid salt keeps concurrent writers off each other's temp *)
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc (W.contents header);
+     output_string oc payload;
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc;
+     Sys.rename tmp path
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e)
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_framed_any_version path ~magic =
+  check_magic magic;
+  if not (Sys.file_exists path) then Error (Printf.sprintf "%s: no such file" path)
+  else begin
+    match read_whole_file path with
+    | exception Sys_error msg -> Error msg
+    | raw ->
+      if String.length raw < header_len then
+        Error
+          (Printf.sprintf "%s: too short for a snapshot header (%d bytes)" path
+             (String.length raw))
+      else begin
+        let file_magic = String.sub raw 0 magic_len in
+        if file_magic <> magic then
+          Error
+            (Printf.sprintf "%s: bad magic %S (want %S) — not a %s snapshot"
+               path file_magic magic
+               (String.trim magic))
+        else begin
+          let version = Int32.to_int (String.get_int32_le raw magic_len) in
+          let len = String.get_int64_le raw (magic_len + 4) in
+          let stored_crc = String.get_int32_le raw (magic_len + 12) in
+          let body_len = String.length raw - header_len in
+          if Int64.of_int body_len <> len then
+            Error
+              (Printf.sprintf
+                 "%s: truncated payload (header says %Ld bytes, file has %d)"
+                 path len body_len)
+          else begin
+            let payload = String.sub raw header_len body_len in
+            let actual = crc32 payload in
+            if actual <> stored_crc then
+              Error
+                (Printf.sprintf
+                   "%s: CRC mismatch (stored %08lx, computed %08lx) — snapshot \
+                    is corrupt"
+                   path stored_crc actual)
+            else Ok (version, payload)
+          end
+        end
+      end
+  end
+
+let read_framed path ~magic ~version =
+  match read_framed_any_version path ~magic with
+  | Error _ as e -> e
+  | Ok (v, payload) ->
+    if v <> version then
+      Error
+        (Printf.sprintf "%s: snapshot format version %d, this build reads %d"
+           path v version)
+    else Ok payload

@@ -1,0 +1,106 @@
+(** Hand-rolled little-endian binary codec and framed snapshot container.
+
+    This is the substrate of the persistent plan store (DESIGN.md §16). It
+    deliberately avoids [Marshal]: snapshots written here are stable across
+    compiler versions and architectures, because every value is spelled out
+    as fixed-width little-endian fields through {!W}/{!R}.
+
+    A snapshot file is a {e frame}:
+
+    {v
+      offset  size  field
+      0       8     magic (ASCII, identifies the payload kind)
+      8       4     format version (u32 LE)
+      12      8     payload length in bytes (u64 LE)
+      20      4     CRC-32 (IEEE) of the payload bytes (u32 LE)
+      24      n     payload
+    v}
+
+    Writes are atomic: temp file (pid-salted) + fsync + rename, the same
+    discipline as the MCF cache, so a crash mid-write leaves any previous
+    snapshot intact. Reads validate magic, version, length and CRC before
+    returning a byte of payload. *)
+
+(** CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of a string.
+    Test vector: [crc32 "123456789" = 0xCBF43926]. *)
+val crc32 : string -> int32
+
+(** Sequential writer over an internal [Buffer]. All integers are
+    little-endian; floats are written as their IEEE-754 bit patterns, so
+    round-trips are bit-exact (including NaN payloads, infinities and
+    signed zeros). *)
+module W : sig
+  type t
+
+  val create : ?size:int -> unit -> t
+  val contents : t -> string
+  val u8 : t -> int -> unit
+  val i32 : t -> int -> unit
+
+  (** Full-width OCaml [int] (written as i64; readable on any platform). *)
+  val int : t -> int -> unit
+
+  val i64 : t -> int64 -> unit
+  val float : t -> float -> unit
+  val bool : t -> bool -> unit
+
+  (** Length-prefixed (u32) byte string. *)
+  val string : t -> string -> unit
+
+  (** Length-prefixed arrays of {!int} / {!float} elements. *)
+  val int_array : t -> int array -> unit
+
+  val float_array : t -> float array -> unit
+end
+
+(** Sequential reader over a string. Every accessor raises {!Corrupt} on
+    truncation or on a length prefix that exceeds the remaining bytes —
+    malformed input can never turn into a silent misread or an
+    [Out_of_memory] allocation. *)
+module R : sig
+  type t
+
+  exception Corrupt of string
+
+  val of_string : string -> t
+
+  (** Bytes not yet consumed. *)
+  val remaining : t -> int
+
+  val u8 : t -> int
+  val i32 : t -> int
+  val int : t -> int
+  val i64 : t -> int64
+  val float : t -> float
+  val bool : t -> bool
+  val string : t -> string
+  val int_array : t -> int array
+  val float_array : t -> float array
+
+  (** Raises {!Corrupt} unless the reader is exactly exhausted. *)
+  val expect_end : t -> unit
+end
+
+(** Frame geometry: the magic is always 8 bytes; the payload starts at
+    byte [header_len] = 24. *)
+val magic_len : int
+
+val header_len : int
+
+(** [write_framed path ~magic ~version payload] atomically writes the
+    framed container. [magic] must be exactly 8 bytes. Creates parent
+    directories as needed. *)
+val write_framed : string -> magic:string -> version:int -> string -> unit
+
+(** [read_framed path ~magic ~version] returns the payload, or [Error msg]
+    describing exactly which validation failed (missing file, short
+    header, wrong magic, version mismatch, truncated payload, CRC
+    mismatch). *)
+val read_framed :
+  string -> magic:string -> version:int -> (string, string) result
+
+(** Like {!read_framed} but skips the version check, returning
+    [(version, payload)] — for inspection tools that want to report a
+    mismatched version rather than fail on it. *)
+val read_framed_any_version :
+  string -> magic:string -> (int * string, string) result

@@ -133,7 +133,7 @@ let hist_snapshot h =
 let time h f =
   if Atomic.get enabled_flag then begin
     let t0 = Unix.gettimeofday () in
-    let finally () = observe h (Unix.gettimeofday () -. t0) in
+    let finally () = observe h (Float.max 0.0 (Unix.gettimeofday () -. t0)) in
     Fun.protect ~finally f
   end
   else f ()

@@ -11,9 +11,6 @@ let stddev xs =
     sqrt (acc /. float_of_int n)
   end
 
-let min xs = Array.fold_left Float.min infinity xs
-let max xs = Array.fold_left Float.max neg_infinity xs
-
 (* NaN poisons order statistics silently ([Float.compare] files NaNs after
    every real value, so high percentiles quietly return NaN while low ones
    look fine); reject it loudly instead. *)
@@ -21,6 +18,16 @@ let reject_nan fname xs =
   Array.iter
     (fun x -> if Float.is_nan x then invalid_arg (fname ^ ": NaN sample"))
     xs
+
+let min xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min: empty array";
+  reject_nan "Stats.min" xs;
+  Array.fold_left Float.min infinity xs
+
+let max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.max: empty array";
+  reject_nan "Stats.max" xs;
+  Array.fold_left Float.max neg_infinity xs
 
 let sorted xs =
   let out = Array.copy xs in
@@ -51,6 +58,7 @@ let quantiles ~ps xs =
 let median xs = percentile 50.0 xs
 
 let cdf_points xs =
+  reject_nan "Stats.cdf_points" xs;
   let s = sorted xs in
   let n = Array.length s in
   Array.mapi (fun i v -> (v, float_of_int (i + 1) /. float_of_int n)) s

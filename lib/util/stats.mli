@@ -8,7 +8,12 @@ val mean : float array -> float
     it); 0 for arrays of length < 2. *)
 val stddev : float array -> float
 
+(** Smallest / largest sample. Raise [Invalid_argument] on an empty array
+    (the old behaviour silently returned [infinity] / [neg_infinity]) or on
+    any NaN sample (NaN would otherwise win or lose the fold depending on
+    operand order and poison downstream summaries). *)
 val min : float array -> float
+
 val max : float array -> float
 
 (** [percentile p xs] with [p] in [0,100], linear interpolation between
@@ -29,7 +34,8 @@ val median : float array -> float
 val sorted : float array -> float array
 
 (** [cdf_points xs] returns the array of [(value, fraction <= value)] pairs
-    of the empirical CDF, sorted by value. *)
+    of the empirical CDF, sorted by value. Raises [Invalid_argument] on NaN
+    samples (they have no position in the CDF). *)
 val cdf_points : float array -> (float * float) array
 
 (** [histogram ~bins ~lo ~hi xs] counts values per equal-width bin; values

@@ -1,8 +1,14 @@
+(* Wall-clock deltas are clamped to >= 0: [Unix.gettimeofday] is not
+   monotonic, and an NTP step between the two readings would otherwise
+   yield a negative elapsed time that poisons [best_of] minima and any
+   histogram fed from these timings. *)
+let clamp dt = if dt > 0.0 then dt else 0.0
+
 let time f =
   let t0 = Unix.gettimeofday () in
   let result = f () in
   let t1 = Unix.gettimeofday () in
-  (result, t1 -. t0)
+  (result, clamp (t1 -. t0))
 
 let time_only f =
   let _, dt = time f in
@@ -10,7 +16,7 @@ let time_only f =
 
 let stopwatch () =
   let t0 = Unix.gettimeofday () in
-  fun () -> Unix.gettimeofday () -. t0
+  fun () -> clamp (Unix.gettimeofday () -. t0)
 
 let best_of ?(repeats = 3) f =
   if repeats < 1 then invalid_arg "Timer.best_of: repeats < 1";

@@ -1,4 +1,6 @@
-(** Wall-clock timing helpers for the benchmark harness. *)
+(** Wall-clock timing helpers for the benchmark harness. All elapsed
+    deltas are clamped to [>= 0]: [Unix.gettimeofday] is not monotonic and
+    an NTP step mid-measurement must not produce negative durations. *)
 
 (** [time f] runs [f ()] and returns its result with the elapsed seconds. *)
 val time : (unit -> 'a) -> 'a * float

@@ -98,7 +98,9 @@ let with_span ?(attrs = []) name f =
     stack := o :: !stack;
     let t0 = Unix.gettimeofday () in
     let finally () =
-      let dt = Unix.gettimeofday () -. t0 in
+      (* clamp: gettimeofday is not monotonic; an NTP step mid-span must
+         not record a negative duration. *)
+      let dt = Float.max 0.0 (Unix.gettimeofday () -. t0) in
       (stack := match !stack with _ :: rest -> rest | [] -> []);
       record
         {

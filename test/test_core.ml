@@ -101,7 +101,7 @@ let test_paper_example_rescaling () =
   check_f "xi(e3)" (3.0 /. 9.0) xi.(e3);
   check_f "xi(e4)" (4.0 /. 9.0) xi.(e4);
   check_f "xi(e1)" 0.0 xi.(e1);
-  let st' = Reconfig.apply_failure st e1 in
+  let st' = Reconfig.apply_failures st [ e1 ] in
   let p' = Routing.row_dense st'.Reconfig.protection e2 in
   check_f "p'_e2(e1)" 0.0 p'.(e1);
   check_f "p'_e2(e2)" (0.2 +. (0.1 *. 2.0 /. 9.0)) p'.(e2);

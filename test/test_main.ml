@@ -7,6 +7,7 @@ let () =
       ("net", Test_net.suite);
       ("substrate", Test_substrate.suite);
       ("core", Test_core.suite);
+      ("plan_store", Test_plan_store.suite);
       ("extensions", Test_extensions.suite);
       ("mcf", Test_mcf.suite);
       ("te", Test_te.suite);

@@ -8,10 +8,6 @@
    all three routing storage backends; and with a real (LP-computed) plan
    whose MLU* <= 1, the quiescent MLU stays within the plan bound. *)
 
-(* This file deliberately exercises the deprecated per-directed-link
-   wrappers (they must stay bit-equal to [fail] for their final PR cycle). *)
-[@@@ocaml.alert "-deprecated"]
-
 module G = R3_net.Graph
 module Routing = R3_net.Routing
 module Topology = R3_net.Topology
@@ -63,20 +59,17 @@ let bit_identical = Reconfig.states_bit_identical
 
 (* ---- fail / recover (scenario-delta API) ---- *)
 
-let test_fail_matches_wrappers () =
+let test_fail_matches_directed_folds () =
   let g = Topology.abilene () in
   let st = make_state g in
   let e = 3 in
   let one = Reconfig.fail st (sc g [ e ]) in
-  Alcotest.(check bool) "fail = apply_bidir_failure" true
-    (bit_identical one (Reconfig.apply_bidir_failure st e));
-  Alcotest.(check bool) "fail = step_bidir" true
-    (bit_identical one (Reconfig.step_bidir st e));
   let r = Option.get (G.reverse_link g e) in
-  Alcotest.(check bool) "apply_failure twice = fail" true
-    (bit_identical one (Reconfig.apply_failure (Reconfig.apply_failure st e) r));
-  Alcotest.(check bool) "step twice = fail" true
-    (bit_identical one (Reconfig.step (Reconfig.step st e) r))
+  Alcotest.(check bool) "fail = apply_failures over both directions" true
+    (bit_identical one (Reconfig.apply_failures st [ e; r ]));
+  Alcotest.(check bool) "apply_failures one at a time = fail" true
+    (bit_identical one
+       (Reconfig.apply_failures (Reconfig.apply_failures st [ e ]) [ r ]))
 
 let test_fail_idempotent () =
   let g = Topology.abilene () in
@@ -297,8 +290,8 @@ let test_stats_and_metrics () =
 
 let suite =
   [
-    Alcotest.test_case "fail matches deprecated wrappers" `Quick
-      test_fail_matches_wrappers;
+    Alcotest.test_case "fail matches directed folds" `Quick
+      test_fail_matches_directed_folds;
     Alcotest.test_case "fail is idempotent" `Quick test_fail_idempotent;
     Alcotest.test_case "recover restores pristine bits" `Quick
       test_recover_restores_pristine;

@@ -10,6 +10,10 @@ module Topology = R3_net.Topology
 module Traffic = R3_net.Traffic
 module Spf = R3_net.Spf
 module Reconfig = R3_core.Reconfig
+module Scenario = R3_core.Scenario
+
+(* Physical (bidirectional) failure of one link as a singleton delta. *)
+let fail_bidir g st e = Reconfig.fail st (Scenario.of_links g [ e ])
 
 let check_f name expected got =
   Alcotest.(check (float 0.0)) name expected got
@@ -153,7 +157,7 @@ let check_backend_identity g ~seed ~rounds ~max_fail =
     let fold st =
       List.fold_left
         (fun st (e, bidir) ->
-          if bidir then Reconfig.step_bidir st e else Reconfig.step st e)
+          if bidir then fail_bidir g st e else Reconfig.apply_failures st [ e ])
         st links
     in
     let stepped = List.map fold states in
@@ -167,7 +171,9 @@ let check_backend_identity g ~seed ~rounds ~max_fail =
     let plain = List.map fst links in
     let folded = List.map (fun st -> Reconfig.apply_failures st plain) states in
     let ref_folded =
-      List.fold_left Reconfig.apply_failure (List.hd states) plain
+      List.fold_left
+        (fun st e -> Reconfig.apply_failures st [ e ])
+        (List.hd states) plain
     in
     List.iteri
       (fun i st ->
@@ -194,8 +200,8 @@ let test_cow_isolation () =
   let st = make_state g ~backend:Routing.Backend.Sparse ~seed:9 in
   let st_d = make_state g ~backend:Routing.Backend.Dense ~seed:9 in
   let before = Routing.to_dense_matrix st.Reconfig.base in
-  let child = Reconfig.step_bidir st 0 in
-  let child_d = Reconfig.step_bidir st_d 0 in
+  let child = fail_bidir g st 0 in
+  let child_d = fail_bidir g st_d 0 in
   Alcotest.(check bool) "dense/sparse children agree" true
     (Reconfig.states_bit_identical child_d child);
   (* parent unchanged by the fold *)
@@ -206,7 +212,7 @@ let test_cow_isolation () =
   Alcotest.(check bool) "parent isolated from child writes" true
     (Routing.to_dense_matrix st.Reconfig.base = before);
   (* ...and writing into the parent must not corrupt another child *)
-  let child2 = Reconfig.step_bidir st 0 in
+  let child2 = fail_bidir g st 0 in
   Routing.set st.Reconfig.base 0 2 0.456;
   Alcotest.(check bool) "children isolated from parent writes" true
     (Reconfig.states_bit_identical child_d child2)
@@ -224,13 +230,13 @@ let test_parallel_fold_from_shared_root () =
   let seqs =
     Array.init 24 (fun _ -> List.init 3 (fun _ -> Prng.int rng m))
   in
-  let fold_all st = Array.map (List.fold_left Reconfig.step_bidir st) seqs in
+  let fold_all st = Array.map (List.fold_left (fail_bidir g) st) seqs in
   let expected = fold_all (mk ()) in
   (* A fresh root, shared by all workers. *)
   let root = mk () in
   let got =
     R3_util.Parallel.map ~domains:4
-      (fun links -> List.fold_left Reconfig.step_bidir root links)
+      (fun links -> List.fold_left (fail_bidir g) root links)
       seqs
   in
   Array.iteri
@@ -253,7 +259,11 @@ let test_long_chain_identity () =
   let links = List.init 24 (fun _ -> Prng.int rng m) in
   let final =
     List.map
-      (fun b -> List.fold_left Reconfig.step (make_state g ~backend:b ~seed:11) links)
+      (fun b ->
+        List.fold_left
+          (fun st e -> Reconfig.apply_failures st [ e ])
+          (make_state g ~backend:b ~seed:11)
+          links)
       backends
   in
   let reference = List.hd final in

@@ -190,7 +190,32 @@ let test_stats_nan_rejected () =
   expect_invalid "percentile" (fun () -> Stats.percentile 50.0 bad);
   expect_invalid "quantiles" (fun () -> Stats.quantiles ~ps:[ 50.0 ] bad);
   expect_invalid "histogram" (fun () ->
-      Stats.histogram ~bins:2 ~lo:0.0 ~hi:1.0 bad)
+      Stats.histogram ~bins:2 ~lo:0.0 ~hi:1.0 bad);
+  expect_invalid "min" (fun () -> Stats.min bad);
+  expect_invalid "max" (fun () -> Stats.max bad);
+  expect_invalid "cdf_points" (fun () -> Stats.cdf_points bad)
+
+(* Regression: min/max of an empty array used to return infinity and
+   neg_infinity — fabricated extremes that silently poisoned downstream
+   summaries. They must refuse instead. *)
+let test_stats_empty_rejected () =
+  let expect_invalid name f =
+    try
+      ignore (f ());
+      Alcotest.failf "%s: expected Invalid_argument on empty array" name
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid "min" (fun () -> Stats.min [||]);
+  expect_invalid "max" (fun () -> Stats.max [||])
+
+(* Regression: wall-clock deltas are clamped at zero, so a backwards NTP
+   step can never yield a negative duration. We cannot step the clock in
+   a test, but the non-negativity contract itself must hold. *)
+let test_timer_non_negative () =
+  let (), dt = R3_util.Timer.time (fun () -> ()) in
+  Alcotest.(check bool) "time >= 0" true (dt >= 0.0);
+  let stop = R3_util.Timer.stopwatch () in
+  Alcotest.(check bool) "stopwatch >= 0" true (stop () >= 0.0)
 
 (* Worker exceptions must surface with the worker-side backtrace, not the
    caller's re-raise site. *)
@@ -314,6 +339,9 @@ let suite =
       test_parallel_exception;
     Alcotest.test_case "parallel set_domains" `Quick test_parallel_set_domains;
     Alcotest.test_case "stats reject NaN" `Quick test_stats_nan_rejected;
+    Alcotest.test_case "stats reject empty min/max" `Quick
+      test_stats_empty_rejected;
+    Alcotest.test_case "timer non-negative" `Quick test_timer_non_negative;
     Alcotest.test_case "parallel backtrace preserved" `Quick
       test_parallel_backtrace;
     Alcotest.test_case "json to_string" `Quick test_json_to_string;
