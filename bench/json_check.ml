@@ -127,6 +127,34 @@ let check_lp_scenario sc =
       if v <= 0.0 then fail "%s: %s is %g, expected > 0" tag name v)
     [ "revised_speedup"; "cold_speedup"; "lp_speedup" ]
 
+(* Schema assertions for the sweep bench artifact: the executor section
+   must carry the pool's lifetime counters (all non-negative) and both
+   pool-vs-fork/join comparisons with positive timings. Keeps a bench
+   refactor from silently dropping the stats the executor trajectory
+   keys on. *)
+
+let check_pool_compare what j =
+  let fj = as_num (what ^ ".forkjoin_seconds") (field what j "forkjoin_seconds") in
+  let pl = as_num (what ^ ".pool_seconds") (field what j "pool_seconds") in
+  if fj <= 0.0 || pl <= 0.0 then
+    fail "%s: non-positive timing (fork/join %g, pool %g)" what fj pl;
+  ignore (as_num (what ^ ".speedup") (field what j "speedup"))
+
+let check_sweep what doc =
+  match doc with
+  | J.Obj kvs when List.assoc_opt "bench" kvs = Some (J.String "sweep") ->
+    let pool = field what doc "pool" in
+    List.iter
+      (fun k ->
+        let v = as_int (what ^ ".pool." ^ k) (field (what ^ ".pool") pool k) in
+        if v < 0 then fail "%s: pool.%s is negative (%d)" what k v)
+      [ "workers"; "tasks"; "steals"; "parks"; "max_queue_depth"; "resizes" ];
+    check_pool_compare (what ^ ".pool.abilene_sweep")
+      (field (what ^ ".pool") pool "abilene_sweep");
+    check_pool_compare (what ^ ".pool.pop36_cg_oracle")
+      (field (what ^ ".pool") pool "pop36_cg_oracle")
+  | _ -> ()
+
 let check_lp what doc =
   match doc with
   | J.Obj kvs when List.assoc_opt "bench" kvs = Some (J.String "lp") -> (
@@ -162,6 +190,7 @@ let check_file path =
   in
   check_doc path doc;
   check_lp path doc;
+  check_sweep path doc;
   Printf.printf "json_check: %s ok\n" path
 
 let () =

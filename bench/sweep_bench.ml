@@ -162,6 +162,123 @@ let ratio_case g env scenarios =
       ("warm_speedup", J.Float (t_cold /. Float.max t_warm 1e-9));
     ]
 
+(* ---- persistent pool vs the retired per-call fork/join executor ----
+
+   Two workloads, one per granularity regime:
+   - the Abilene sweep fan-out (few heavy subtree tasks), where fork/join
+     was least embarrassed — the pool must be no worse;
+   - a pop36 constraint-generation oracle round (many tiny knapsack
+     tasks), where per-call domain spawn/join dominated — the pool must
+     win outright.
+   The oracle round reproduces Offline's separation oracle exactly: for
+   each (matrix, link) index, weights [cap l * p_l(e)] fed to the
+   knapsack kernel, over a protection-shaped routing (per-column OSPF
+   detour flow for the failed link's unit demand). *)
+let pool_case ~repeats ~iters env scenarios =
+  let algorithms = Eval.[ Ospf_r3; Mplsff_r3 ] in
+  (* At least one worker, or both executors degenerate to the same
+     sequential loop: on a single-core host this measures the per-call
+     domain spawn/join overhead itself, which is what the pool removes. *)
+  let n_domains = Int.max 2 (R3_util.Parallel.domains ()) in
+  let saved_domains = R3_util.Parallel.domains () in
+  R3_util.Parallel.set_domains n_domains;
+  Fun.protect ~finally:(fun () -> R3_util.Parallel.set_domains saved_domains)
+  @@ fun () ->
+  let sweep fanout () =
+    (Sweep.run ~metric:`Bottleneck ~domains:n_domains ~fanout env ~algorithms
+       scenarios)
+      .Sweep.curves
+  in
+  check "pool vs fork/join sweep curves"
+    (bits_equal (sweep `Tasks ()) (sweep `Forkjoin ()));
+  let best f =
+    R3_util.Timer.best_of ~repeats (fun () ->
+        for _ = 1 to iters do
+          ignore (f ())
+        done)
+    /. float_of_int iters
+  in
+  let t_fj = best (sweep `Forkjoin) in
+  let t_pool = best (sweep `Tasks) in
+  (* pop36 oracle round *)
+  let g36 = Reconfig_bench.pop36 () in
+  let m = G.num_links g36 in
+  let weights = R3_net.Ospf.unit_weights g36 in
+  (* protection-shaped routing: row l is the OSPF detour flow carrying
+     link l's unit virtual demand around l (built once, untimed) *)
+  let detour =
+    Array.init m (fun l ->
+        let r =
+          R3_net.Ospf.routing g36 ~failed:(G.fail_links g36 [ l ]) ~weights
+            ~pairs:[| (G.src g36 l, G.dst g36 l) |] ()
+        in
+        Array.init m (fun j -> R3_net.Routing.get r 0 j))
+  in
+  let nh = 4 in
+  let n = nh * m in
+  let task i =
+    let e = i mod m in
+    let w = Array.init m (fun l -> G.capacity g36 l *. detour.(l).(e)) in
+    fst (R3_core.Virtual_demand.worst_virtual_load_set ~f:2 w)
+  in
+  let pool_oracle () =
+    R3_util.Parallel.init ~chunk:(R3_util.Parallel.chunk_hint n) n task
+  in
+  let fj_oracle () = R3_util.Pool.Forkjoin.run_indexed ~domains:n_domains n task in
+  check "pool vs fork/join oracle results" (pool_oracle () = fj_oracle ());
+  let t_fj_o = best fj_oracle in
+  let t_pool_o = best pool_oracle in
+  let s = R3_util.Pool.stats () in
+  Printf.printf
+    "  executor (pool vs per-call fork/join, %d domains):\n\
+    \    abilene sweep:   fork/join %.4fs | pool %.4fs | speedup %.2fx\n\
+    \    pop36 CG oracle: fork/join %.4fs | pool %.4fs | speedup %.2fx\n\
+    \    pool: %d workers, %d tasks, %d steals, %d parks, depth<=%d, %d resizes\n%!"
+    n_domains t_fj t_pool
+    (t_fj /. Float.max t_pool 1e-9)
+    t_fj_o t_pool_o
+    (t_fj_o /. Float.max t_pool_o 1e-9)
+    s.R3_util.Pool.workers s.R3_util.Pool.tasks s.R3_util.Pool.steals
+    s.R3_util.Pool.parks s.R3_util.Pool.max_queue_depth s.R3_util.Pool.resizes;
+  (* Acceptance bar: pool no worse than fork/join on the coarse sweep
+     (10% tolerance — few tasks, timer noise) and strictly faster on the
+     fine-grained oracle round. Hard-enforced only on demand, like the
+     plan-store gate. *)
+  if t_pool > t_fj *. 1.10 || t_pool_o >= t_fj_o then begin
+    let msg =
+      Printf.sprintf
+        "pool vs fork/join: abilene %.4fs vs %.4fs, pop36 oracle %.4fs vs %.4fs"
+        t_pool t_fj t_pool_o t_fj_o
+    in
+    if Sys.getenv_opt "R3_BENCH_ENFORCE_SPEEDUP" <> None then
+      failwith ("sweep bench: " ^ msg)
+    else H.note "%s — not enforced without R3_BENCH_ENFORCE_SPEEDUP" msg
+  end;
+  J.Obj
+    [
+      ("workers", J.Int s.R3_util.Pool.workers);
+      ("tasks", J.Int s.R3_util.Pool.tasks);
+      ("steals", J.Int s.R3_util.Pool.steals);
+      ("parks", J.Int s.R3_util.Pool.parks);
+      ("max_queue_depth", J.Int s.R3_util.Pool.max_queue_depth);
+      ("resizes", J.Int s.R3_util.Pool.resizes);
+      ( "abilene_sweep",
+        J.Obj
+          [
+            ("forkjoin_seconds", J.Float t_fj);
+            ("pool_seconds", J.Float t_pool);
+            ("speedup", J.Float (t_fj /. Float.max t_pool 1e-9));
+          ] );
+      ( "pop36_cg_oracle",
+        J.Obj
+          [
+            ("oracle_tasks", J.Int n);
+            ("forkjoin_seconds", J.Float t_fj_o);
+            ("pool_seconds", J.Float t_pool_o);
+            ("speedup", J.Float (t_fj_o /. Float.max t_pool_o 1e-9));
+          ] );
+    ]
+
 let run () =
   H.section "Scenario sweep: prefix-sharing engine vs naive per-scenario path";
   if !H.smoke then begin
@@ -190,6 +307,7 @@ let run () =
     let scenarios = Scenarios.enumerate g ~k:1 @ Scenarios.enumerate g ~k:2 in
     let headline = headline_case ~repeats:3 ~iters:10 g env scenarios in
     let ratio = ratio_case g env (Scenarios.enumerate g ~k:1) in
+    let pool = pool_case ~repeats:3 ~iters:10 env scenarios in
     let doc =
       J.Obj
         [
@@ -199,6 +317,7 @@ let run () =
           ("links", J.Int (G.num_links g));
           ("headline", headline);
           ("mcf_cache", ratio);
+          ("pool", pool);
           (* Last: the counters the cases above accumulated. *)
           H.metrics_section ();
         ]

@@ -54,22 +54,38 @@ let lp_backend_arg =
            revised simplex), $(b,tableau) (sparse-row tableau) or \
            $(b,dense) (reference).")
 
-(* One R3_core.Config.t from --lp-backend/--routing-backend/--seed; the
-   same record the bench harnesses build programmatically. *)
+let domains_arg =
+  Arg.(
+    value
+    & opt string "auto"
+    & info [ "domains" ] ~docv:"D|auto"
+        ~doc:
+          "Size of the shared work-stealing pool every parallel stage \
+           (sweep fan-out, CG separation oracles, online replay) runs on; \
+           $(b,auto) keeps the machine-derived default.")
+
+(* One R3_core.Config.t from --lp-backend/--routing-backend/--seed/
+   --domains; the same record the bench harnesses build
+   programmatically. Applies the domains knob to the shared pool as a
+   side effect, so every subcommand using this term honors one
+   --domains flag. *)
 let core_config_term =
-  let build lp routing seed =
+  let build lp routing seed domains =
     let ( >>= ) r f = Result.bind r f in
     match
       Ok R3_core.Config.(default |> with_seed seed)
       >>= R3_core.Config.with_lp_backend_string lp
       >>= R3_core.Config.with_routing_backend_string routing
+      >>= R3_core.Config.with_domains_string domains
     with
-    | Ok c -> c
+    | Ok c ->
+      R3_core.Config.apply_domains c;
+      c
     | Error msg ->
       Printf.eprintf "%s\n" msg;
       exit 2
   in
-  Term.(const build $ lp_backend_arg $ routing_backend_arg $ seed_arg)
+  Term.(const build $ lp_backend_arg $ routing_backend_arg $ seed_arg $ domains_arg)
 
 (* ---- metrics export (shared by sweep / precompute / profile) ---- *)
 
@@ -321,7 +337,7 @@ let parse_ks spec =
     Printf.eprintf "bad -k list %S (use e.g. 1,2,3)\n" spec;
     exit 2
 
-let sweep_run tag ks count seed load metric use_cache domains metrics plan_path =
+let sweep_run tag ks count seed load metric use_cache core metrics plan_path =
   let module Eval = R3_sim.Eval in
   let module Sweep = R3_sim.Sweep in
   let module Scenarios = R3_sim.Scenarios in
@@ -348,7 +364,8 @@ let sweep_run tag ks count seed load metric use_cache domains metrics plan_path 
       let pairs, _ = Traffic.commodities tm in
       let base = R3_net.Ospf.routing g ~weights ~pairs () in
       let cfg =
-        { (Offline.default_config ~f:kmax) with solve_method = Offline.Constraint_gen }
+        Offline.with_core core
+          { (Offline.default_config ~f:kmax) with solve_method = Offline.Constraint_gen }
       in
       R3_core.Structured.compute cfg g tm
         { R3_core.Structured.srlgs = bidir_groups g; mlgs = []; k = kmax }
@@ -374,7 +391,7 @@ let sweep_run tag ks count seed load metric use_cache domains metrics plan_path 
       Eval.[ Ospf_cspf_detour; Ospf_recon; Fcp; Path_splice; Ospf_r3; Ospf_opt ]
     in
     let s, dt =
-      R3_util.Timer.time (fun () -> Sweep.run ?cache ~metric ?domains env ~algorithms scenarios)
+      R3_util.Timer.time (fun () -> Sweep.run ?cache ~metric env ~algorithms scenarios)
     in
     Printf.printf "%s over %d scenarios (k in {%s}), %.2fs:\n"
       (match metric with `Ratio -> "performance ratio vs optimal" | `Bottleneck -> "bottleneck intensity")
@@ -420,9 +437,6 @@ let sweep_cmd =
   let cache_arg =
     Arg.(value & flag & info [ "cache" ] ~doc:"Persist optimal-MCF solves under .bench-cache/.")
   in
-  let domains_arg =
-    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"D" ~doc:"Parallel domain count (default: available cores).")
-  in
   let plan_arg =
     Arg.(
       value
@@ -436,7 +450,7 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Bulk scenario sweep (prefix-sharing engine)")
     Term.(
       const sweep_run $ topology_arg $ ks_arg $ count_arg $ seed_arg $ load_arg
-      $ metric_arg $ cache_arg $ domains_arg $ metrics_arg $ plan_arg)
+      $ metric_arg $ cache_arg $ core_config_term $ metrics_arg $ plan_arg)
 
 (* ---- profile ---- *)
 
@@ -446,7 +460,7 @@ let sweep_cmd =
    lookup, the second hits them all, so both sides of the cache show up in
    the exported metrics. The metrics/trace JSON goes to stdout (or a
    file); the human-readable digest goes to stderr. *)
-let profile tag ks count seed load domains out trace_out =
+let profile tag ks count seed load core out trace_out =
   let module Eval = R3_sim.Eval in
   let module Sweep = R3_sim.Sweep in
   let module Scenarios = R3_sim.Scenarios in
@@ -460,7 +474,8 @@ let profile tag ks count seed load domains out trace_out =
   let ks = parse_ks ks in
   let kmax = List.fold_left Int.max 1 ks in
   let cfg =
-    { (Offline.default_config ~f:kmax) with solve_method = Offline.Constraint_gen }
+    Offline.with_core core
+      { (Offline.default_config ~f:kmax) with solve_method = Offline.Constraint_gen }
   in
   match
     R3_core.Structured.compute cfg g tm
@@ -483,8 +498,8 @@ let profile tag ks count seed load domains out trace_out =
     let algorithms =
       Eval.[ Ospf_cspf_detour; Ospf_recon; Fcp; Path_splice; Ospf_r3; Ospf_opt ]
     in
-    let _cold = Sweep.run ~cache ~metric:`Ratio ?domains env ~algorithms scenarios in
-    let s = Sweep.run ~cache ~metric:`Ratio ?domains env ~algorithms scenarios in
+    let _cold = Sweep.run ~cache ~metric:`Ratio env ~algorithms scenarios in
+    let s = Sweep.run ~cache ~metric:`Ratio env ~algorithms scenarios in
     Printf.eprintf "profiled %s: %d scenarios x 2 sweep passes (k in {%s})\n" tag
       s.Sweep.scenario_count
       (String.concat "," (List.map string_of_int ks));
@@ -518,9 +533,6 @@ let profile_cmd =
   let count_arg =
     Arg.(value & opt int 30 & info [ "count" ] ~docv:"N" ~doc:"Sample size per k > 2.")
   in
-  let domains_arg =
-    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"D" ~doc:"Parallel domain count (default: available cores).")
-  in
   let out_arg =
     Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Metrics JSON destination (`-' = stdout).")
   in
@@ -531,7 +543,7 @@ let profile_cmd =
     (Cmd.info "profile" ~doc:"Instrumented end-to-end run; emits metrics JSON")
     Term.(
       const profile $ topology_arg $ ks_arg $ count_arg $ seed_arg $ load_arg
-      $ domains_arg $ out_arg $ trace_arg)
+      $ core_config_term $ out_arg $ trace_arg)
 
 (* ---- online ---- *)
 

@@ -13,8 +13,8 @@
 
     [Offline.default_config ?config] embeds the record in the offline
     configuration; [r3] subcommands build it from [--lp-backend],
-    [--routing-backend] and [--seed]; bench harnesses construct
-    per-backend variants with the builders. *)
+    [--routing-backend], [--seed] and [--domains]; bench harnesses
+    construct per-backend variants with the builders. *)
 
 type t = {
   lp_backend : R3_lp.Problem.backend;
@@ -31,6 +31,11 @@ type t = {
       (** [1 - p_e(e)] threshold below which the detour of equation (8)
           is declared undefined (default 1e-9, matching
           [Routing.rescale_detour]) *)
+  domains : int option;
+      (** preferred {!R3_util.Pool} size; [None] (default) keeps the
+          machine-derived size. An execution knob only: results are
+          bit-identical for any value, which is why it is {e not} part
+          of the {!Plan_store} fingerprint. *)
 }
 
 val default : t
@@ -43,6 +48,13 @@ val with_seed : int -> t -> t
 val with_mcf_epsilon : float -> t -> t
 val with_rescale_tol : float -> t -> t
 
+(** Clamped to [\[1, 64\]] like {!R3_util.Parallel.set_domains}. *)
+val with_domains : int -> t -> t
+
+(** Apply [domains] to the shared pool ({!R3_util.Parallel.set_domains});
+    a no-op when [None]. CLI entry points call this once after parsing. *)
+val apply_domains : t -> unit
+
 (** {2 String parsing (CLI flags)} *)
 
 (** [with_lp_backend_string s t]: [s] is one of [tableau], [revised],
@@ -53,6 +65,10 @@ val with_lp_backend_string : string -> t -> (t, string) result
 (** [with_routing_backend_string s t]: [s] is one of [dense], [sparse],
     [auto]. *)
 val with_routing_backend_string : string -> t -> (t, string) result
+
+(** [with_domains_string s t]: a positive integer, or [auto] to keep the
+    machine-derived pool size. *)
+val with_domains_string : string -> t -> (t, string) result
 
 (** {2 Export} *)
 

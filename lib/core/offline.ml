@@ -277,7 +277,7 @@ let audit_worst_mlu g ~f ~base_loads ~protection =
   Obs.T.with_span "offline.audit" @@ fun () ->
   let m = G.num_links g in
   let utils =
-    Parallel.init m (fun e ->
+    Parallel.init ~chunk:(Parallel.chunk_hint m) m (fun e ->
         let weights =
           Array.init m (fun l -> G.capacity g l *. Routing.get protection l e)
         in
@@ -352,12 +352,13 @@ let compute_cg (cfg : config) g tms base_spec =
             in
             Array.init nh (fun h -> Routing.loads g ~demands:demand_arrs.(h) r)
         in
-        (* Separation oracle, fanned out per (matrix, link). Each task is
+        (* Separation oracle: chunked (matrix, link) index ranges
+           submitted to the persistent pool each round. Each task is
            independent and results come back in slot order, so the cuts
            added below appear in exactly the sequential (h, e) order. *)
         let oracle =
           Obs.T.with_span "offline.oracle" @@ fun () ->
-          Parallel.init (nh * m) (fun i ->
+          Parallel.init ~chunk:(Parallel.chunk_hint (nh * m)) (nh * m) (fun i ->
               let h = i / m and e = i mod m in
               let weights =
                 Array.init m (fun l -> G.capacity g l *. Routing.get p l e)

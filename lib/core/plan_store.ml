@@ -138,7 +138,11 @@ let dec_config s : Offline.config =
     max_pivots;
     cg_max_rounds;
     cg_warm_start;
-    core = { lp_backend; routing_backend; seed; mcf_epsilon; rescale_tol };
+    (* [domains] is an execution knob (results are domain-count
+       independent), so it is deliberately not part of the snapshot
+       format or its fingerprint. *)
+    core =
+      { lp_backend; routing_backend; seed; mcf_epsilon; rescale_tol; domains = None };
   }
 
 (* --- workload section (commodities + demands) -------------------------- *)

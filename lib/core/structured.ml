@@ -122,7 +122,7 @@ let audit_mlu (plan : Offline.plan) groups =
   let m = G.num_links g in
   let base_loads = Routing.loads g ~demands:plan.Offline.demands plan.Offline.base in
   let utils =
-    R3_util.Parallel.init m (fun e ->
+    R3_util.Parallel.init ~chunk:(R3_util.Parallel.chunk_hint m) m (fun e ->
         let weights =
           Array.init m (fun l ->
               G.capacity g l *. Routing.get plan.Offline.protection l e)
@@ -275,11 +275,12 @@ let compute (cfg : Offline.config) g tm groups base_spec =
             let r = Lp_build.extract_routing sol g ~pairs (Option.get r_vars) in
             Routing.loads g ~demands r
         in
-        (* Separation per link, fanned out over domains; slot-ordered
-           results keep the cut order identical to a sequential loop. *)
+        (* Separation per link: chunked edge ranges submitted to the
+           persistent pool each round; slot-ordered results keep the cut
+           order identical to a sequential loop. *)
         let oracle =
           Obs.T.with_span "offline.oracle" @@ fun () ->
-          R3_util.Parallel.init m (fun e ->
+          R3_util.Parallel.init ~chunk:(R3_util.Parallel.chunk_hint m) m (fun e ->
               let weights =
                 Array.init m (fun l -> G.capacity g l *. Routing.get p l e)
               in

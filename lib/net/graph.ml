@@ -59,11 +59,16 @@ let create ~node_names ~links =
      distinct reverse partner. *)
   let reverse = Array.make m (-1) in
   let by_pair = Hashtbl.create m in
+  (* Buckets are consed newest-first, then reversed once: link order in
+     each bucket must stay ascending (pairing picks the head), and the
+     append-per-link alternative is quadratic in the number of parallel
+     links. *)
   for e = 0 to m - 1 do
     let key = (link_src.(e) * n) + link_dst.(e) in
     let q = Option.value (Hashtbl.find_opt by_pair key) ~default:[] in
-    Hashtbl.replace by_pair key (q @ [ e ])
+    Hashtbl.replace by_pair key (e :: q)
   done;
+  Hashtbl.filter_map_inplace (fun _ q -> Some (List.rev q)) by_pair;
   for e = 0 to m - 1 do
     if reverse.(e) < 0 then begin
       let rkey = (link_dst.(e) * n) + link_src.(e) in

@@ -331,9 +331,11 @@ let run_to ?(channel = Channel.ideal ()) ?(seed = 0) ?(mlu_bound = infinity)
     events;
   (* On resume the pre-pause portion already counted its events. *)
   (match resume with None -> Metrics.add c_events ne | Some _ -> ());
-  (* True failed set after each event, for notification flooding. *)
+  (* True failed set after each event, for notification flooding. The
+     down-set fold is stateful and cheap; the per-event SPF flood times
+     are pure given the failed set, so they fan out over the pool in
+     slot order. *)
   let scenario_after = Array.make ne (Scenario.of_physical g []) in
-  let arrival_after = Array.make ne [||] in
   begin
     let down = Hashtbl.create 8 in
     Array.iteri
@@ -344,61 +346,81 @@ let run_to ?(channel = Channel.ideal ()) ?(seed = 0) ?(mlu_bound = infinity)
         let reps =
           Hashtbl.fold (fun e () acc -> e :: acc) down [] |> List.sort compare
         in
-        let sc = Scenario.of_physical g reps in
-        scenario_after.(i) <- sc;
-        arrival_after.(i) <-
-          Notify.arrival_times ~config:channel.Channel.notify g
-            ~failed:(G.fail_links g (Scenario.links sc))
-            ~link:ev.link)
+        scenario_after.(i) <- Scenario.of_physical g reps)
       events
   end;
+  let arrival_after =
+    R3_util.Parallel.init ne (fun i ->
+        Notify.arrival_times ~config:channel.Channel.notify g
+          ~failed:(G.fail_links g (Scenario.links scenario_after.(i)))
+          ~link:events.(i).link)
+  in
   (* Expand every (event, router) notification into its delivery copies.
      Faults are precomputable: drops, retransmissions and duplicates do not
      depend on receiver state, so the whole delivery schedule is known
-     upfront and a sort replaces a priority queue. *)
+     upfront and a sort replaces a priority queue. Per-event streams are
+     independent — the per-copy RNG is keyed by (seed, event, router) —
+     so events expand in parallel; the global [seq] tiebreaker is then
+     assigned sequentially in the same event/router/attempt order the
+     serial loop used, keeping the sorted schedule bit-identical for any
+     domain count. *)
+  let expanded =
+    R3_util.Parallel.init ne (fun i ->
+        let ev = events.(i) in
+        let drops = ref 0 in
+        let copies = ref [] in
+        (* built newest-first, reversed once below *)
+        let push at router = copies := (at, router) :: !copies in
+        for v = 0 to n - 1 do
+          let flood = arrival_after.(i).(v) in
+          (* [infinity] = router partitioned from the detector; with the
+             connectivity-preserving generator this cannot happen, but a
+             hand-built schedule may do it — the router then simply never
+             hears about this event. *)
+          if flood < infinity then begin
+            let base = ev.at_ms +. flood in
+            match channel.Channel.faults with
+            | None -> push base v
+            | Some f ->
+              let rng = copy_rng ~seed ~ev:i ~router:v in
+              let lost = ref 0 in
+              while
+                !lost < f.Channel.max_retries && Prng.bool rng f.Channel.drop_prob
+              do
+                incr lost
+              done;
+              drops := !drops + !lost;
+              let attempt_base =
+                base +. (float_of_int !lost *. f.Channel.backoff_ms)
+              in
+              let jitter () =
+                if f.Channel.jitter_ms > 0.0 then
+                  Prng.float rng f.Channel.jitter_ms
+                else 0.0
+              in
+              push (attempt_base +. jitter ()) v;
+              let dups = ref 0 in
+              while !dups < 3 && Prng.bool rng f.Channel.dup_prob do
+                push (attempt_base +. jitter ()) v;
+                incr dups
+              done
+          end
+        done;
+        (List.rev !copies, !drops))
+  in
   let stat_drops = ref 0 and stat_retries = ref 0 in
   let deliveries = ref [] in
   let n_copies = ref 0 in
-  let push at ev router =
-    deliveries := { at; seq = !n_copies; ev; router } :: !deliveries;
-    incr n_copies
-  in
-  for i = 0 to ne - 1 do
-    let ev = events.(i) in
-    for v = 0 to n - 1 do
-      let flood = arrival_after.(i).(v) in
-      (* [infinity] = router partitioned from the detector; with the
-         connectivity-preserving generator this cannot happen, but a
-         hand-built schedule may do it — the router then simply never
-         hears about this event. *)
-      if flood < infinity then begin
-        let base = ev.at_ms +. flood in
-        match channel.Channel.faults with
-        | None -> push base i v
-        | Some f ->
-          let rng = copy_rng ~seed ~ev:i ~router:v in
-          let lost = ref 0 in
-          while !lost < f.Channel.max_retries && Prng.bool rng f.Channel.drop_prob do
-            incr lost
-          done;
-          stat_drops := !stat_drops + !lost;
-          stat_retries := !stat_retries + !lost;
-          let attempt_base =
-            base +. (float_of_int !lost *. f.Channel.backoff_ms)
-          in
-          let jitter () =
-            if f.Channel.jitter_ms > 0.0 then Prng.float rng f.Channel.jitter_ms
-            else 0.0
-          in
-          push (attempt_base +. jitter ()) i v;
-          let dups = ref 0 in
-          while !dups < 3 && Prng.bool rng f.Channel.dup_prob do
-            push (attempt_base +. jitter ()) i v;
-            incr dups
-          done
-      end
-    done
-  done;
+  Array.iteri
+    (fun i (copies, drops) ->
+      stat_drops := !stat_drops + drops;
+      stat_retries := !stat_retries + drops;
+      List.iter
+        (fun (at, router) ->
+          deliveries := { at; seq = !n_copies; ev = i; router } :: !deliveries;
+          incr n_copies)
+        copies)
+    expanded;
   let deliveries = Array.of_list !deliveries in
   Array.sort
     (fun a b ->

@@ -8,9 +8,12 @@
    depth-first, advancing the R3 algorithms' states with the copy-on-write
    [Reconfig.fail] over singleton scenario deltas (bit-identical to the
    naive per-scenario rebuild), evaluates per-scenario algorithms at the
-   leaves, and fans
-   depth-1 subtrees out over [R3_util.Parallel] with slot-indexed result
-   assembly, so output never depends on scheduling. *)
+   leaves, and fans out dynamically: every tree node becomes a task on
+   the persistent work-stealing pool ([R3_util.Pool]), submitted to the
+   running worker's own deque and stolen by idle ones, so skewed prefix
+   trees keep every domain busy. Each node awaits its children in child
+   order and concatenates, so assembly reproduces the serial DFS preorder
+   exactly and output never depends on scheduling. *)
 
 module G = R3_net.Graph
 module Reconfig = R3_core.Reconfig
@@ -25,8 +28,9 @@ module Obs = struct
   let tree_nodes = M.counter "sweep.tree_nodes"
   let cow_steps = M.counter "sweep.cow_steps"
 
-  (* Incremented in the worker domain, one per depth-1 subtree: the
-     per-shard breakdown is the per-domain task count. *)
+  (* Incremented in the executing domain, one per executor task: a tree
+     node on the pool path, a depth-1 subtree on the serial and fork/join
+     paths. The per-shard breakdown is the per-domain task count. *)
   let tasks = M.counter "sweep.tasks"
   let cache_hits = M.counter "sweep.cache.hits"
   let cache_misses = M.counter "sweep.cache.misses"
@@ -108,24 +112,31 @@ let eval_cell env algs metric cache sc states =
   in
   { scenario = sc; values; opt; fresh_opt }
 
-(* DFS of one subtree; [states] holds the R3 algorithms' reconfigured
-   states for the path so far ([None] slots are per-scenario algorithms).
-   The cache is read-only here — workers run concurrently. *)
+(* Advance the R3 algorithms' states across one tree edge: COW-fail the
+   node's singleton delta into every stateful slot ([None] slots are
+   per-scenario algorithms). *)
+let advance_states env node states =
+  R3_util.Metrics.incr Obs.tree_nodes;
+  let delta = Scenario.of_links env.Eval.graph [ node.link ] in
+  let cow = ref 0 in
+  let states =
+    Array.map
+      (Option.map (fun st ->
+           incr cow;
+           Reconfig.fail st delta))
+      states
+  in
+  R3_util.Metrics.add Obs.cow_steps !cow;
+  states
+
+(* Serial DFS of one subtree; the cache is read-only here — executors
+   run concurrently. Used when one domain does everything, and by the
+   fork/join reference arm the bench measures the pool against. *)
 let eval_subtree env algs metric cache root_states subtree =
   R3_util.Metrics.incr Obs.tasks;
   let out = ref [] in
   let rec walk node states =
-    R3_util.Metrics.incr Obs.tree_nodes;
-    let delta = Scenario.of_links env.Eval.graph [ node.link ] in
-    let cow = ref 0 in
-    let states =
-      Array.map
-        (Option.map (fun st ->
-             incr cow;
-             Reconfig.fail st delta))
-        states
-    in
-    R3_util.Metrics.add Obs.cow_steps !cow;
+    let states = advance_states env node states in
     (match node.terminal with
     | Some sc -> out := eval_cell env algs metric cache sc states :: !out
     | None -> ());
@@ -134,19 +145,64 @@ let eval_subtree env algs metric cache root_states subtree =
   walk subtree root_states;
   Array.of_list (List.rev !out)
 
+(* Dynamic fan-out: one pool task per tree node. Submissions from inside
+   a task land on the submitting worker's own deque (and are stolen from
+   the other end by idle workers), so a skewed forest balances itself.
+   Awaiting the children in child order and consing [here] in front
+   reproduces the serial DFS preorder exactly — bit-identity with the
+   serial path for any pool size. COW states are safe to fold from a
+   shared parent concurrently (DESIGN.md §14: sealing is an atomic
+   generation bump). *)
+let rec eval_node env algs metric cache states node =
+  R3_util.Metrics.incr Obs.tasks;
+  let states = advance_states env node states in
+  let here =
+    match node.terminal with
+    | Some sc -> [| eval_cell env algs metric cache sc states |]
+    | None -> [||]
+  in
+  let futs =
+    List.map
+      (fun c -> R3_util.Pool.submit (fun () -> eval_node env algs metric cache states c))
+      node.children
+  in
+  let below = List.map R3_util.Pool.await futs in
+  Array.concat (here :: below)
+
 (* ---- the sweep ---- *)
 
-let run ?cache ?(metric = `Ratio) ?domains env ~algorithms scenarios =
+let run ?cache ?(metric = `Ratio) ?domains
+    ?(fanout : [ `Tasks | `Forkjoin ] = `Tasks) env ~algorithms scenarios =
   R3_util.Metrics.incr Obs.runs;
   R3_util.Metrics.time Obs.run_seconds @@ fun () ->
   R3_util.Trace.with_span "sweep.run" @@ fun () ->
   let algs = Array.of_list algorithms in
   let forest = build_forest scenarios in
   let root_states = Array.map (fun alg -> Eval.r3_root env alg) algs in
+  let d =
+    match domains with
+    | Some d -> Int.max 1 d
+    | None -> R3_util.Parallel.domains ()
+  in
   let subtree_cells =
-    R3_util.Parallel.map ?domains
-      (eval_subtree env algs metric cache root_states)
-      (Array.of_list forest.children)
+    match fanout with
+    | _ when d = 1 ->
+      Array.map
+        (eval_subtree env algs metric cache root_states)
+        (Array.of_list forest.children)
+    | `Forkjoin ->
+      R3_util.Pool.Forkjoin.map ~domains:d
+        (eval_subtree env algs metric cache root_states)
+        (Array.of_list forest.children)
+    | `Tasks ->
+      let futs =
+        List.map
+          (fun c ->
+            R3_util.Pool.submit (fun () ->
+                eval_node env algs metric cache root_states c))
+          forest.children
+      in
+      Array.of_list (List.map R3_util.Pool.await futs)
   in
   let empty_cells =
     match forest.terminal with

@@ -13,8 +13,11 @@
       — Theorem 3 (order-independent rescaling) guarantees the state at a
       shared prefix is exactly the state every descendant scenario needs,
       and stepped states are bit-identical to per-scenario rebuilds;
-    - fans depth-1 subtrees out over {!R3_util.Parallel} domains with
-      slot-indexed result assembly, so results never depend on scheduling;
+    - fans out dynamically over the persistent work-stealing pool
+      ({!R3_util.Pool}): every tree node becomes a task that submits its
+      children as subtasks and awaits them in child order, so skewed
+      prefix trees balance across domains and assembly reproduces the
+      serial DFS preorder — results never depend on scheduling;
     - memoizes optimal-MCF solves in an {!Mcf_cache.t} (optionally disk-
       backed under [.bench-cache/]), reading it concurrently during the
       sweep and updating it once afterwards;
@@ -47,12 +50,17 @@ type summary = {
 (** [run env ~algorithms scenarios] sweeps the deduplicated canonical
     scenario set. [metric] defaults to [`Ratio] (which is what solves the
     MCF normalizer; [`Bottleneck] never does). [cache] memoizes those
-    solves across runs; [domains] overrides the parallel pool size.
-    Duplicate scenarios are evaluated once. *)
+    solves across runs. [domains = 1] forces the serial walk; any larger
+    value (default: the pool size) fans out. [fanout] selects the
+    parallel arm: [`Tasks] (default) submits one pool task per tree
+    node; [`Forkjoin] is the retired per-call spawn/join fan-out over
+    depth-1 subtrees, kept as the bench baseline. All paths are
+    bit-identical. Duplicate scenarios are evaluated once. *)
 val run :
   ?cache:Mcf_cache.t ->
   ?metric:metric ->
   ?domains:int ->
+  ?fanout:[ `Tasks | `Forkjoin ] ->
   Eval.env ->
   algorithms:Eval.algorithm list ->
   Scenario.t list ->

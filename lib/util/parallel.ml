@@ -1,55 +1,19 @@
-let default_domains =
-  let recommended = Domain.recommended_domain_count () in
-  ref (Int.max 1 (Int.min 8 recommended))
+(* Thin wrappers over the persistent pool (see pool.ml / DESIGN.md §17).
+   The contract is unchanged from the per-call fork/join days: slot-
+   indexed results, deterministic output for any domain count, first
+   exception by input index re-raised with its worker-side backtrace. *)
 
-let domains () = !default_domains
-let set_domains n = default_domains := Int.max 1 (Int.min 64 n)
+let domains = Pool.domains
+let set_domains = Pool.set_domains
+let chunk_hint n = Pool.chunk_hint n
 
-(* Each worker repeatedly claims the next unprocessed index; results are
-   written into per-index slots, so the assembled output never depends on
-   scheduling. The first exception (by input index) is re-raised. *)
-let run_indexed ~domains:d n (task : int -> 'a) : 'a array =
-  if n = 0 then [||]
-  else begin
-    let results : 'a option array = Array.make n None in
-    let errors : (exn * Printexc.raw_backtrace) option array = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let continue = ref true in
-      while !continue do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n then continue := false
-        else
-          match task i with
-          | v -> results.(i) <- Some v
-          | exception e ->
-            (* Capture the backtrace in the worker, where it is still the
-               raising stack; re-raising with it in the caller preserves
-               the original trace across the domain boundary. *)
-            errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
-      done
-    in
-    let spawned =
-      Array.init (Int.min (d - 1) (n - 1)) (fun _ -> Domain.spawn worker)
-    in
-    worker ();
-    Array.iter Domain.join spawned;
-    Array.iter
-      (function
-        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-        | None -> ())
-      errors;
-    Array.map
-      (function Some v -> v | None -> assert false (* every slot filled *))
-      results
-  end
-
-let map ?domains:d f a =
-  let d = match d with Some d -> Int.max 1 d | None -> !default_domains in
+let map ?domains:d ?chunk f a =
+  let d = match d with Some d -> Int.max 1 d | None -> Pool.domains () in
   let n = Array.length a in
   if d = 1 || n <= 1 then Array.map f a
-  else run_indexed ~domains:d n (fun i -> f a.(i))
+  else Pool.run_indexed ~domains:d ?chunk n (fun i -> f a.(i))
 
-let init ?domains:d n f =
-  let d = match d with Some d -> Int.max 1 d | None -> !default_domains in
-  if d = 1 || n <= 1 then Array.init n f else run_indexed ~domains:d n f
+let init ?domains:d ?chunk n f =
+  let d = match d with Some d -> Int.max 1 d | None -> Pool.domains () in
+  if d = 1 || n <= 1 then Array.init n f
+  else Pool.run_indexed ~domains:d ?chunk n f

@@ -1,29 +1,37 @@
-(** Bounded fork/join parallelism over OCaml 5 domains.
+(** Bounded deterministic parallelism over OCaml 5 domains.
 
-    A small work-stealing-free pool: tasks are indexed, workers pull the
-    next index from a shared counter, and every result lands in the slot
-    of its input - so the output order (and any sequential merge done by
-    the caller) is {e deterministic}, identical to a sequential run,
-    regardless of how many domains execute or how they interleave. Task
-    functions must not touch shared mutable state.
+    Thin wrappers over the persistent work-stealing pool ({!Pool}):
+    tasks are indexed, executors claim chunks of indices from a shared
+    counter, and every result lands in the slot of its input - so the
+    output order (and any sequential merge done by the caller) is
+    {e deterministic}, identical to a sequential run, regardless of how
+    many domains execute or how they interleave. Task functions must not
+    touch shared mutable state.
 
     The pool size defaults to the machine's recommended domain count
     (capped at 8 - these are separation-oracle sized jobs, not HPC), and
     can be pinned globally with {!set_domains} (e.g. [set_domains 1] to
     force sequential execution when comparing against a parallel run) or
-    per call with [?domains]. *)
+    bounded per call with [?domains]. *)
 
-(** Default number of domains used by {!map} and {!init}. *)
+(** Current pool size ({!Pool.domains}), used by {!map} and {!init}. *)
 val domains : unit -> int
 
-(** Override the default pool size; values are clamped to [\[1, 64\]]. *)
+(** Resize the pool ({!Pool.set_domains}); clamped to [\[1, 64\]]. *)
 val set_domains : int -> unit
 
 (** [map f a] is [Array.map f a], computed by the pool. Exceptions raised
     by [f] are re-raised in the caller with their original (worker-side)
     backtrace; the one from the lowest index wins. Falls back to plain
-    [Array.map] for tiny inputs or a pool of one. *)
-val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+    [Array.map] for tiny inputs or a pool of one. [?chunk] sets the
+    claim granularity (default {!Pool.chunk_hint}); results never depend
+    on it. *)
+val map : ?domains:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 
 (** [init n f] is [Array.init n f], computed by the pool. *)
-val init : ?domains:int -> int -> (int -> 'a) -> 'a array
+val init : ?domains:int -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+
+(** [chunk_hint n] is {!Pool.chunk_hint} at the current pool size: the
+    granularity the chunked-range callers (the CG separation oracles)
+    pass explicitly. *)
+val chunk_hint : int -> int

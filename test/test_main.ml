@@ -2,6 +2,7 @@ let () =
   Alcotest.run "r3"
     [
       ("util", Test_util.suite);
+      ("pool", Test_pool.suite);
       ("metrics", Test_metrics.suite);
       ("lp", Test_lp.suite);
       ("net", Test_net.suite);

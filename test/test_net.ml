@@ -59,6 +59,28 @@ let test_parallel_links () =
       Hashtbl.replace seen r ()
   done
 
+(* Many parallel links between one node pair: the by-pair buckets must
+   keep links in ascending index order (the build conses then reverses
+   once; per-link append was quadratic here), so the k-th i->j link pairs
+   with the k-th j->i link. *)
+let test_many_parallel_links () =
+  let p = 64 in
+  let links =
+    Array.init (2 * p) (fun k ->
+        if k < p then (0, 1, float_of_int (k + 1), 1.0)
+        else (1, 0, float_of_int (k - p + 1), 1.0))
+  in
+  let g = G.create ~node_names:[| "i"; "j" |] ~links in
+  check_int "links" (2 * p) (G.num_links g);
+  for i = 0 to p - 1 do
+    check_int "in-order pairing" (p + i)
+      (match G.reverse_link g i with Some r -> r | None -> -1);
+    check_int "pairing is symmetric" i
+      (match G.reverse_link g (p + i) with Some r -> r | None -> -1);
+    Alcotest.(check (float 0.0)) "capacity kept"
+      (float_of_int (i + 1)) (G.capacity g i)
+  done
+
 let test_dijkstra_simple () =
   let g = Topology.square () in
   let w = Ospf.unit_weights g in
@@ -341,6 +363,7 @@ let suite =
     Alcotest.test_case "find_link" `Quick test_find_link;
     Alcotest.test_case "failures and reachability" `Quick test_failures_and_reachability;
     Alcotest.test_case "parallel links" `Quick test_parallel_links;
+    Alcotest.test_case "many parallel links" `Quick test_many_parallel_links;
     Alcotest.test_case "dijkstra simple" `Quick test_dijkstra_simple;
     Alcotest.test_case "dijkstra with failures" `Quick test_dijkstra_failed;
     Alcotest.test_case "shortest path chaining" `Quick test_shortest_path;

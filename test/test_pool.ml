@@ -1,0 +1,205 @@
+(* The persistent work-stealing executor's contract: deterministic
+   results for any pool size (including mid-run resizes), nested
+   submission without deadlock, worker-side exception backtraces, and
+   bit-identity of the layers that ride on it (sweep, CG) across
+   domains in {1, 2, 8}. *)
+
+module Par = R3_util.Parallel
+module Pool = R3_util.Pool
+
+let with_domains d f =
+  let before = Par.domains () in
+  Fun.protect
+    ~finally:(fun () -> Par.set_domains before)
+    (fun () ->
+      Par.set_domains d;
+      f ())
+
+(* ---- nested submission ---- *)
+
+let test_nested_no_deadlock () =
+  with_domains 4 @@ fun () ->
+  (* Recursive splitting: every task submits a subtask and awaits it
+     while still running — the help-while-waiting loop must keep making
+     progress instead of parking the whole pool. *)
+  let rec sum lo hi =
+    if hi - lo <= 8 then begin
+      let acc = ref 0 in
+      for i = lo to hi - 1 do
+        acc := !acc + i
+      done;
+      !acc
+    end
+    else begin
+      let mid = (lo + hi) / 2 in
+      let left = Pool.submit (fun () -> sum lo mid) in
+      let right = sum mid hi in
+      Pool.await left + right
+    end
+  in
+  Alcotest.(check int) "divide and conquer" 499500 (sum 0 1000);
+  (* Indexed batches nested inside pool tasks. *)
+  let nested =
+    Par.init 16 (fun i -> Array.fold_left ( + ) 0 (Par.init 50 (fun j -> i + j)))
+  in
+  let expected = Array.init 16 (fun i -> (50 * i) + 1225) in
+  Alcotest.(check (array int)) "nested batches" expected nested
+
+(* ---- exception + backtrace through futures ---- *)
+
+let[@inline never] deep_raise () = failwith "future boom"
+
+let test_future_exception_backtrace () =
+  with_domains 4 @@ fun () ->
+  let prev = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect ~finally:(fun () -> Printexc.record_backtrace prev) @@ fun () ->
+  let fut = Pool.submit (fun () -> deep_raise ()) in
+  match Pool.await fut with
+  | _ -> Alcotest.fail "expected the task exception to propagate"
+  | exception Failure msg ->
+    Alcotest.(check string) "original exception" "future boom" msg;
+    let bt = String.lowercase_ascii (Printexc.get_backtrace ()) in
+    (* The raising frame lives in this file; a backtrace captured at the
+       await re-raise would not mention it. *)
+    let has sub =
+      let n = String.length sub and m = String.length bt in
+      let rec go i = i + n <= m && (String.sub bt i n = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "raising frame in backtrace: %s" bt)
+      true (has "test_pool")
+
+(* ---- resize while idle ---- *)
+
+let test_resize_while_idle () =
+  let before = Par.domains () in
+  Fun.protect ~finally:(fun () -> Par.set_domains before) @@ fun () ->
+  let expected = Array.init 200 (fun i -> (i * 31) mod 101) in
+  let batch () = Par.init 200 (fun i -> (i * 31) mod 101) in
+  let r0 = Pool.stats () in
+  Par.set_domains 3;
+  Alcotest.(check (array int)) "batch at 3" expected (batch ());
+  (* Pool is idle here; grow... *)
+  Par.set_domains 6;
+  Alcotest.(check (array int)) "batch at 6" expected (batch ());
+  Alcotest.(check int) "workers grown" 5 (Pool.stats ()).Pool.workers;
+  (* ...and shrink. The tail workers are unpublished immediately. *)
+  Par.set_domains 2;
+  Alcotest.(check int) "workers shrunk" 1 (Pool.stats ()).Pool.workers;
+  Alcotest.(check (array int)) "batch at 2" expected (batch ());
+  let r1 = Pool.stats () in
+  Alcotest.(check bool)
+    (Printf.sprintf "resizes counted (%d -> %d)" r0.Pool.resizes r1.Pool.resizes)
+    true
+    (r1.Pool.resizes >= r0.Pool.resizes + 3)
+
+(* ---- seeded stress with uneven task costs ---- *)
+
+let test_stress_uneven_costs () =
+  let before = Par.domains () in
+  Fun.protect ~finally:(fun () -> Par.set_domains before) @@ fun () ->
+  let n = 400 in
+  (* Cost per task spans three orders of magnitude, seeded so every run
+     and every pool size computes the same floats. *)
+  let task i =
+    let rng = R3_util.Prng.create ((i * 7919) + 11) in
+    let cost = 1 lsl (i mod 11) in
+    let acc = ref 0.0 in
+    for _ = 1 to cost do
+      acc := !acc +. R3_util.Prng.float rng 1.0
+    done;
+    !acc
+  in
+  Par.set_domains 1;
+  let base = Par.init n task in
+  List.iter
+    (fun d ->
+      Par.set_domains d;
+      let got = Par.init n task in
+      Alcotest.(check bool)
+        (Printf.sprintf "bit-identical at %d domains" d)
+        true (base = got))
+    [ 2; 8 ]
+
+let test_chunk_invariance () =
+  with_domains 4 @@ fun () ->
+  let f i = float_of_int (i * i) /. 7.0 in
+  let base = Array.init 333 f in
+  List.iter
+    (fun chunk ->
+      Alcotest.(check bool)
+        (Printf.sprintf "chunk %d" chunk)
+        true
+        (base = Par.init ~chunk 333 f))
+    [ 1; 7; 64; 1000 ]
+
+(* ---- CG bit-identity across pool sizes ---- *)
+
+let plan_exn = function
+  | Ok p -> p
+  | Error m -> Alcotest.failf "offline solve failed: %s" m
+
+let test_cg_identity_across_domains () =
+  let module Offline = R3_core.Offline in
+  let module Routing = R3_net.Routing in
+  let g = R3_net.Topology.abilene () in
+  let rng = R3_util.Prng.create 19 in
+  let tm = R3_net.Traffic.gravity rng g ~load_factor:0.2 () in
+  let pairs, _ = R3_net.Traffic.commodities tm in
+  let base =
+    R3_net.Ospf.routing g ~weights:(R3_net.Ospf.unit_weights g) ~pairs ()
+  in
+  let cfg =
+    { (Offline.default_config ~f:1) with solve_method = Offline.Constraint_gen }
+  in
+  let run () = plan_exn (Offline.compute cfg g tm (Offline.Fixed base)) in
+  let before = Par.domains () in
+  Fun.protect ~finally:(fun () -> Par.set_domains before) @@ fun () ->
+  Par.set_domains 1;
+  let ref_plan = run () in
+  List.iter
+    (fun d ->
+      Par.set_domains d;
+      let p = run () in
+      Alcotest.(check bool)
+        (Printf.sprintf "same MLU at %d domains" d)
+        true
+        (Float.equal ref_plan.Offline.mlu p.Offline.mlu);
+      Alcotest.(check int)
+        (Printf.sprintf "same pivots at %d domains" d)
+        ref_plan.Offline.lp_pivots p.Offline.lp_pivots;
+      Alcotest.(check bool)
+        (Printf.sprintf "bit-identical protection at %d domains" d)
+        true
+        (Routing.to_dense_matrix ref_plan.Offline.protection
+        = Routing.to_dense_matrix p.Offline.protection))
+    [ 2; 8 ]
+
+(* ---- metrics surface ---- *)
+
+let test_pool_metrics_registered () =
+  with_domains 4 @@ fun () ->
+  ignore (Par.init 100 (fun i -> i));
+  let s = Pool.stats () in
+  Alcotest.(check bool) "tasks counted" true (s.Pool.tasks > 0);
+  Alcotest.(check bool) "counters non-negative" true
+    (s.Pool.steals >= 0 && s.Pool.parks >= 0 && s.Pool.max_queue_depth >= 0
+   && s.Pool.resizes >= 0 && s.Pool.workers >= 0);
+  Alcotest.(check bool) "r3.pool.tasks exported" true
+    (R3_util.Metrics.counter_value "r3.pool.tasks" > 0)
+
+let suite =
+  [
+    Alcotest.test_case "nested submission no deadlock" `Quick test_nested_no_deadlock;
+    Alcotest.test_case "future exception + backtrace" `Quick
+      test_future_exception_backtrace;
+    Alcotest.test_case "resize while idle" `Quick test_resize_while_idle;
+    Alcotest.test_case "stress: uneven costs, domains 1/2/8" `Quick
+      test_stress_uneven_costs;
+    Alcotest.test_case "chunk size invariance" `Quick test_chunk_invariance;
+    Alcotest.test_case "CG identity, domains 1/2/8" `Slow
+      test_cg_identity_across_domains;
+    Alcotest.test_case "pool metrics registered" `Quick test_pool_metrics_registered;
+  ]

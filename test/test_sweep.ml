@@ -99,19 +99,32 @@ let test_domains_agree () =
   let g, env = Lazy.force env in
   let scenarios = S.enumerate g ~k:1 @ S.enumerate g ~k:2 in
   let one = Sweep.run ~metric:`Bottleneck ~domains:1 env ~algorithms:r3_algorithms scenarios in
-  let many = Sweep.run ~metric:`Bottleneck ~domains:4 env ~algorithms:r3_algorithms scenarios in
-  check_bits "1 vs 4 domains" one.Sweep.curves many.Sweep.curves;
+  let check_against label many =
+    check_bits label one.Sweep.curves many.Sweep.curves;
+    (* worst witnesses agree, scenario and value *)
+    Array.iteri
+      (fun i w1 ->
+        match (w1, many.Sweep.worst.(i)) with
+        | Some (s1, v1), Some (s2, v2) ->
+          Alcotest.(check bool) "worst scenario" true (Sc.equal s1 s2);
+          Alcotest.(check (float 0.0)) "worst value" v1 v2
+        | None, None -> ()
+        | _ -> Alcotest.fail "worst witness presence differs")
+      one.Sweep.worst
+  in
   Alcotest.(check int) "scenario count" (List.length scenarios) one.Sweep.scenario_count;
-  (* worst witnesses agree, scenario and value *)
-  Array.iteri
-    (fun i w1 ->
-      match (w1, many.Sweep.worst.(i)) with
-      | Some (s1, v1), Some (s2, v2) ->
-        Alcotest.(check bool) "worst scenario" true (Sc.equal s1 s2);
-        Alcotest.(check (float 0.0)) "worst value" v1 v2
-      | None, None -> ()
-      | _ -> Alcotest.fail "worst witness presence differs")
-    one.Sweep.worst
+  (* dynamic pool fan-out across the issue's domain ladder... *)
+  List.iter
+    (fun d ->
+      check_against
+        (Printf.sprintf "1 vs %d domains" d)
+        (Sweep.run ~metric:`Bottleneck ~domains:d env ~algorithms:r3_algorithms
+           scenarios))
+    [ 2; 4; 8 ];
+  (* ...and the retired fork/join baseline arm must match too *)
+  check_against "1 vs fork/join baseline"
+    (Sweep.run ~metric:`Bottleneck ~domains:4 ~fanout:`Forkjoin env
+       ~algorithms:r3_algorithms scenarios)
 
 let test_cache_warm_identical () =
   let g, env = Lazy.force env in
