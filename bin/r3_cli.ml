@@ -9,7 +9,8 @@
      profile     - end-to-end instrumented run, metrics JSON out
      online      - event-driven online reconfiguration run
      plan        - plan snapshot utilities (inspect)
-     storage     - Table-3-style router storage report *)
+     storage     - Table-3-style router storage report
+     fuzz        - seeded differential fuzzing / corpus replay *)
 
 module G = R3_net.Graph
 module Traffic = R3_net.Traffic
@@ -779,10 +780,112 @@ let storage_cmd =
     (Cmd.info "storage" ~doc:"Router storage report (Table 3)")
     Term.(const storage $ topology_arg $ seed_arg $ load_arg)
 
+(* ---- fuzz ---- *)
+
+let fuzz cases seed oracle list replay replay_seed corpus shrink_budget =
+  let log line = Printf.printf "%s\n%!" line in
+  if list then
+    List.iter
+      (fun o -> Printf.printf "%-26s %s\n" o.R3_check.Oracle.name o.R3_check.Oracle.doc)
+      R3_check.Oracle.all
+  else
+    match (replay, replay_seed) with
+    | Some path, _ ->
+      let o = R3_check.Fuzz.replay ~log path in
+      Printf.printf "replayed %d corpus case%s clean\n"
+        o.R3_check.Fuzz.replayed
+        (if o.R3_check.Fuzz.replayed = 1 then "" else "s");
+      List.iter (fun msg -> Printf.eprintf "%s\n" msg) o.R3_check.Fuzz.problems;
+      if o.R3_check.Fuzz.problems <> [] then exit 1
+    | None, Some case_seed -> (
+      let oracle =
+        match oracle with
+        | Some o -> o
+        | None ->
+          Printf.eprintf "--replay-seed needs --oracle (the failure line names both)\n";
+          exit 2
+      in
+      match R3_check.Fuzz.replay_seed ~log ~oracle ~seed:case_seed () with
+      | Ok () -> ()
+      | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1)
+    | None, None -> (
+      match
+        R3_check.Fuzz.run ?oracle ~corpus_dir:corpus ~shrink_budget ~log ~cases
+          ~seed ()
+      with
+      | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+      | Ok r ->
+        let nf = List.length r.R3_check.Fuzz.failures in
+        let n_oracles =
+          match oracle with Some _ -> 1 | None -> List.length R3_check.Oracle.all
+        in
+        Printf.printf "fuzz: %d cases, seed %d, %d oracle%s: %s\n"
+          r.R3_check.Fuzz.cases seed n_oracles
+          (if n_oracles = 1 then "" else "s")
+          (if nf = 0 then "all clean"
+           else Printf.sprintf "%d FAILURES (minimized cases in %s)" nf corpus);
+        if nf > 0 then exit 1)
+
+let fuzz_cmd =
+  let cases_arg =
+    Arg.(value & opt int 200 & info [ "cases" ] ~docv:"N" ~doc:"Generated cases to run.")
+  in
+  let oracle_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "oracle" ] ~docv:"NAME"
+          ~doc:"Restrict to one oracle (see $(b,--list)).")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the oracle registry and exit.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"PATH"
+          ~doc:
+            "Replay a corpus case file (or every *.json under a directory) \
+             and expect each to pass — red means a fixed bug is back.")
+  in
+  let replay_seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "replay-seed" ] ~docv:"SEED"
+          ~doc:
+            "Regenerate one case from the seed a failure line printed \
+             (needs $(b,--oracle)) and run it.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt string R3_check.Fuzz.default_corpus_dir
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Directory that receives minimized failing cases.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 300
+      & info [ "shrink-budget" ] ~docv:"N"
+          ~doc:"Oracle invocations allowed per shrink.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Seeded differential fuzzing of the R3 stack; corpus replay")
+    Term.(
+      const fuzz $ cases_arg $ seed_arg $ oracle_arg $ list_arg $ replay_arg
+      $ replay_seed_arg $ corpus_arg $ budget_arg)
+
 let () =
   let info = Cmd.info "r3" ~version:"1.0.0" ~doc:"Resilient Routing Reconfiguration" in
   exit
     (Cmd.eval
        (Cmd.group info
           [ topologies_cmd; precompute_cmd; evaluate_cmd; compare_cmd; sweep_cmd;
-            profile_cmd; online_cmd; plan_cmd; storage_cmd ]))
+            profile_cmd; online_cmd; plan_cmd; storage_cmd; fuzz_cmd ]))

@@ -1,0 +1,76 @@
+(** A self-contained differential-fuzz case (DESIGN.md §18).
+
+    One record carries every ingredient an {!Oracle} can need: a directed
+    topology (always symmetric — each physical link is stored as both
+    directions, so connected implies strongly connected), a demand set, a
+    protection budget, a timestamped failure/recovery schedule, and the
+    knobs of the sampling and statistics oracles. Everything is spelled
+    out by value — {e not} by generator seed — so a case survives
+    shrinking (which edits the structure directly) and the committed
+    corpus under [test/corpus/] stays replayable after any generator
+    change.
+
+    Demands and schedule events reference links by {e endpoints}, not by
+    link id: shrinking renumbers ids when it drops nodes or links, and
+    endpoint references survive that (entries whose endpoints no longer
+    exist are dropped by the shrinker, never silently misresolved).
+
+    Serialization is human-readable JSON via {!R3_util.Json} (floats
+    round-trip bit-exactly), one case per corpus file. *)
+
+type event = {
+  at_ms : float;
+  a : int;  (** physical link endpoints (either direction) *)
+  b : int;
+  fail : bool;  (** [false] = recovery *)
+}
+
+type t = {
+  oracle : string;  (** registry name of the oracle this case targets *)
+  seed : int;  (** generator seed it was derived from (provenance only) *)
+  sub_seed : int;  (** oracle-internal randomness (folds, faults, bytes) *)
+  nodes : int;
+  links : (int * int * float * float) array;
+      (** directed [(src, dst, capacity, delay_ms)], closed under
+          reversal *)
+  demands : (int * int * float) array;  (** [(src, dst, volume)] *)
+  f : int;  (** protection budget *)
+  k : int;  (** physical failures per scenario (sampling oracle) *)
+  count : int;  (** requested sample size (sampling oracle) *)
+  events : event list;  (** chronological failure/recovery schedule *)
+}
+
+(** Build the graph. Raises [Invalid_argument] on a malformed link table
+    (the shrinker treats that as an invalid candidate). *)
+val graph : t -> R3_net.Graph.t
+
+(** The demand triples as a traffic matrix over {!graph}'s nodes. *)
+val traffic : t -> R3_net.Traffic.t
+
+(** The commodity view of {!traffic} ([pairs], [demands]). *)
+val commodities : t -> (int * int) array * float array
+
+(** Resolve the schedule against a graph: each event becomes an
+    {!R3_sim.Online.event} on the physical representative of the (a, b)
+    link. Events whose endpoints have no surviving link are dropped. *)
+val schedule : t -> R3_net.Graph.t -> R3_sim.Online.event list
+
+(** Structural sanity: the link table builds, the graph is strongly
+    connected, at least one demand references valid distinct nodes, and
+    [f], [k], [count] are positive. Oracles may assume this; the shrinker
+    discards candidates that violate it. *)
+val valid : t -> bool
+
+(** Stable content digest (hex, 8 chars) used for corpus file names. *)
+val digest : t -> string
+
+val to_json : t -> R3_util.Json.t
+
+(** Inverse of {!to_json}; [Error] on a malformed document. *)
+val of_json : R3_util.Json.t -> (t, string) result
+
+(** Write / read one case as a pretty-printed JSON file. [load] returns
+    [Error] (never raises) on unreadable, unparsable or invalid input. *)
+val save : string -> t -> unit
+
+val load : string -> (t, string) result

@@ -1,0 +1,148 @@
+module Prng = R3_util.Prng
+
+type failure = {
+  oracle : string;
+  case_seed : int;
+  message : string;
+  shrunk : Case.t;
+  corpus_path : string option;
+}
+
+type report = { cases : int; failures : failure list }
+
+let default_corpus_dir = "test/corpus"
+
+let rec mkdirs dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let case_summary (c : Case.t) =
+  let phys = Hashtbl.create 16 in
+  Array.iter
+    (fun (a, b, _, _) -> Hashtbl.replace phys (Int.min a b, Int.max a b) ())
+    c.links;
+  Printf.sprintf "%d nodes, %d physical links, %d demands, %d events" c.nodes
+    (Hashtbl.length phys) (Array.length c.demands) (List.length c.events)
+
+let run ?oracle ?(corpus_dir = default_corpus_dir) ?(shrink_budget = 300)
+    ?(log = ignore) ~cases ~seed () =
+  let oracles =
+    match oracle with
+    | None -> Ok Oracle.all
+    | Some name -> (
+      match Oracle.find name with
+      | Some o -> Ok [ o ]
+      | None ->
+        Error
+          (Printf.sprintf "unknown oracle %S (known: %s)" name
+             (String.concat ", " Oracle.names)))
+  in
+  match oracles with
+  | Error _ as e -> e
+  | Ok oracles ->
+    let n_oracles = List.length oracles in
+    let master = Prng.create seed in
+    let failures = ref [] in
+    for i = 0 to cases - 1 do
+      let o = List.nth oracles (i mod n_oracles) in
+      let case_seed = Prng.bits master in
+      let case = Gen.case ~oracle:o.Oracle.name ~seed:case_seed in
+      match Oracle.run o case with
+      | Ok () -> ()
+      | Error message ->
+        log
+          (Printf.sprintf "FAIL %s (case %d/%d): %s" o.Oracle.name (i + 1)
+             cases message);
+        log
+          (Printf.sprintf "  replay: r3 fuzz --oracle %s --replay-seed %d"
+             o.Oracle.name case_seed);
+        let fails c =
+          match Oracle.run o c with Error _ -> true | Ok () -> false
+        in
+        let shrunk = Shrink.minimize ~budget:shrink_budget ~fails case in
+        let corpus_path =
+          let path =
+            Filename.concat corpus_dir
+              (Printf.sprintf "%s-%s.json" o.Oracle.name (Case.digest shrunk))
+          in
+          match
+            mkdirs corpus_dir;
+            Case.save path shrunk
+          with
+          | () -> Some path
+          | exception Sys_error e ->
+            log (Printf.sprintf "  (could not write corpus file: %s)" e);
+            None
+        in
+        log
+          (Printf.sprintf "  shrunk to %s%s" (case_summary shrunk)
+             (match corpus_path with
+             | Some p -> " -> " ^ p
+             | None -> ""));
+        failures :=
+          { oracle = o.Oracle.name; case_seed; message; shrunk; corpus_path }
+          :: !failures
+    done;
+    Ok { cases; failures = List.rev !failures }
+
+let replay_seed ?(log = ignore) ~oracle ~seed () =
+  match Oracle.find oracle with
+  | None ->
+    Error
+      (Printf.sprintf "unknown oracle %S (known: %s)" oracle
+         (String.concat ", " Oracle.names))
+  | Some o -> (
+    let case = Gen.case ~oracle ~seed in
+    log (Printf.sprintf "replaying %s on seed %d: %s" oracle seed
+           (case_summary case));
+    match Oracle.run o case with
+    | Ok () ->
+      log "PASS";
+      Ok ()
+    | Error msg -> Error (Printf.sprintf "%s: %s" oracle msg))
+
+type replay_outcome = { replayed : int; problems : string list }
+
+let replay_file ~log path =
+  match Case.load path with
+  | Error msg -> Error msg
+  | Ok case -> (
+    match Oracle.find case.Case.oracle with
+    | None ->
+      Error
+        (Printf.sprintf "%s: recorded oracle %S is not in the registry" path
+           case.Case.oracle)
+    | Some o -> (
+      match Oracle.run o case with
+      | Ok () ->
+        log (Printf.sprintf "PASS %s (%s)" path o.Oracle.name);
+        Ok ()
+      | Error msg ->
+        Error
+          (Printf.sprintf
+             "%s: oracle %s fails again — a fixed bug is back: %s" path
+             o.Oracle.name msg)))
+
+let replay ?(log = ignore) path =
+  let files =
+    if not (Sys.file_exists path) then Error (path ^ ": no such file or directory")
+    else if Sys.is_directory path then
+      Ok
+        (Sys.readdir path |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".json")
+        |> List.sort compare
+        |> List.map (Filename.concat path))
+    else Ok [ path ]
+  in
+  match files with
+  | Error msg -> { replayed = 0; problems = [ msg ] }
+  | Ok files ->
+    List.fold_left
+      (fun acc f ->
+        match replay_file ~log f with
+        | Ok () -> { acc with replayed = acc.replayed + 1 }
+        | Error msg -> { acc with problems = acc.problems @ [ msg ] })
+      { replayed = 0; problems = [] }
+      files

@@ -1,0 +1,63 @@
+(** The differential fuzz loop behind [r3 fuzz] (DESIGN.md §18).
+
+    One master SplitMix64 seed drives everything: each case gets its own
+    seed from the master stream ({!R3_util.Prng.bits}) and an oracle
+    round-robin from the {!Oracle.all} registration order, so [--cases N
+    --seed S] is one reproducible experiment and any single failing case
+    is reproducible from the one-line replay command the runner prints.
+
+    On a failing case the runner greedily shrinks it ({!Shrink.minimize}
+    re-running the same oracle), writes the minimized case to the corpus
+    directory as [<oracle>-<digest>.json], and reports the failure; it
+    never stops early, so one run reports every failing (oracle, case)
+    pair it met. {!replay} runs corpus files (or one file) back through
+    their recorded oracles and expects every one to PASS — a committed
+    corpus entry documents a fixed bug, and replaying it red means the
+    bug came back. *)
+
+type failure = {
+  oracle : string;
+  case_seed : int;  (** regenerate with [Gen.case ~oracle ~seed:case_seed] *)
+  message : string;
+  shrunk : Case.t;
+  corpus_path : string option;  (** where the minimized case was written *)
+}
+
+type report = { cases : int; failures : failure list }
+
+(** ["test/corpus"] — where [r3 fuzz] writes minimized failures and
+    [dune runtest] replays them from. *)
+val default_corpus_dir : string
+
+(** [run ~cases ~seed ()] fuzzes [cases] generated cases. [oracle]
+    restricts the round-robin to one registry entry ([Error] on an
+    unknown name); [corpus_dir] (default {!default_corpus_dir}) receives
+    minimized failing cases; [shrink_budget] caps oracle invocations per
+    shrink; [log] receives human-readable progress/failure lines. *)
+val run :
+  ?oracle:string ->
+  ?corpus_dir:string ->
+  ?shrink_budget:int ->
+  ?log:(string -> unit) ->
+  cases:int ->
+  seed:int ->
+  unit ->
+  (report, string) result
+
+(** Regenerate one case from its replay seed and run its oracle. *)
+val replay_seed :
+  ?log:(string -> unit) ->
+  oracle:string ->
+  seed:int ->
+  unit ->
+  (unit, string) result
+
+type replay_outcome = {
+  replayed : int;  (** corpus cases that ran and passed *)
+  problems : string list;  (** unreadable cases, unknown oracles, failures *)
+}
+
+(** [replay path] replays one [.json] case file, or every [*.json] under
+    a directory (sorted, for stable output). A missing directory is an
+    error; an existing empty one replays zero cases cleanly. *)
+val replay : ?log:(string -> unit) -> string -> replay_outcome

@@ -1,0 +1,66 @@
+module G = R3_net.Graph
+module Prng = R3_util.Prng
+
+(* Small topologies on purpose: the oracles run LP solves and online
+   replays per case, and shrinking converges fast when the starting point
+   is already modest. Bug surface scales with structure diversity, not
+   node count. *)
+let case ~oracle ~seed =
+  let rng = Prng.create seed in
+  let nodes = 4 + Prng.int rng 6 in
+  let max_undirected = nodes * (nodes - 1) / 2 in
+  let undirected =
+    Int.min max_undirected (nodes - 1 + 1 + Prng.int rng nodes)
+  in
+  let g =
+    R3_net.Topology.random ~seed:(Prng.bits rng) ~nodes
+      ~undirected_links:undirected
+      ~capacities:[ (10.0, 0.4); (40.0, 0.4); (100.0, 0.2) ]
+      ()
+  in
+  let links =
+    Array.init (G.num_links g) (fun e ->
+        (G.src g e, G.dst g e, G.capacity g e, G.delay g e))
+  in
+  let load_factor = 0.12 +. Prng.float rng 0.25 in
+  let tm = R3_net.Traffic.gravity (Prng.split rng) g ~load_factor () in
+  let pairs, volumes = R3_net.Traffic.commodities tm in
+  (* Keep a random subset of commodities (at least one): sparse demand
+     sets exercise the all-zero-row paths of the routing substrate. *)
+  let keep = Array.map (fun _ -> Prng.bool rng 0.8) pairs in
+  if not (Array.exists Fun.id keep) then keep.(0) <- true;
+  let demands =
+    Array.to_list pairs
+    |> List.mapi (fun i (a, b) -> (i, a, b))
+    |> List.filter_map (fun (i, a, b) ->
+           if keep.(i) then Some (a, b, volumes.(i)) else None)
+    |> Array.of_list
+  in
+  let f = 1 + Prng.int rng 2 in
+  let n_events = 4 + Prng.int rng 12 in
+  let events =
+    R3_sim.Online.generate g ~seed:(Prng.bits rng) ~events:n_events
+      ~max_concurrent:f ()
+    |> List.map (fun ev ->
+           {
+             Case.at_ms = ev.R3_sim.Online.at_ms;
+             a = G.src g ev.R3_sim.Online.link;
+             b = G.dst g ev.R3_sim.Online.link;
+             fail = ev.R3_sim.Online.kind = R3_sim.Online.Fail;
+           })
+  in
+  let k = 1 + Prng.int rng 3 in
+  let count = 1 + Prng.int rng 50 in
+  let sub_seed = Prng.bits rng in
+  {
+    Case.oracle;
+    seed;
+    sub_seed;
+    nodes;
+    links;
+    demands;
+    f;
+    k;
+    count;
+    events;
+  }

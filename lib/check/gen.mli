@@ -1,0 +1,15 @@
+(** Seeded case generation for the differential fuzzer.
+
+    Every structural choice — node count, topology shape, capacities,
+    demand intensity, protection budget, schedule length, oracle-internal
+    sub-seed — derives from one SplitMix64 seed through
+    {!R3_util.Prng}, so a failing case is reproducible from the one-line
+    replay seed the runner prints. Topologies come from
+    {!R3_net.Topology.random} (spanning tree + extra links, symmetric
+    capacities), so they are always strongly connected; schedules come
+    from {!R3_sim.Online.generate}, so they respect the concurrency
+    budget and never disconnect the surviving graph. *)
+
+(** [case ~oracle ~seed] builds the deterministic case for a seed.
+    The result satisfies {!Case.valid}. *)
+val case : oracle:string -> seed:int -> Case.t

@@ -1,0 +1,161 @@
+let pair_key a b = (Int.min a b, Int.max a b)
+
+(* Remove node [v]: its links, demands and events go with it; higher ids
+   shift down so the case stays dense. *)
+let drop_node (c : Case.t) v =
+  let remap x = if x > v then x - 1 else x in
+  let links =
+    Array.to_list c.links
+    |> List.filter (fun (a, b, _, _) -> a <> v && b <> v)
+    |> List.map (fun (a, b, cap, d) -> (remap a, remap b, cap, d))
+    |> Array.of_list
+  in
+  let demands =
+    Array.to_list c.demands
+    |> List.filter (fun (a, b, _) -> a <> v && b <> v)
+    |> List.map (fun (a, b, d) -> (remap a, remap b, d))
+    |> Array.of_list
+  in
+  let events =
+    List.filter_map
+      (fun (ev : Case.event) ->
+        if ev.a = v || ev.b = v then None
+        else Some { ev with Case.a = remap ev.a; b = remap ev.b })
+      c.events
+  in
+  { c with Case.nodes = c.nodes - 1; links; demands; events }
+
+(* Remove one physical link (both directions). *)
+let drop_link_pair (c : Case.t) pr =
+  let links =
+    Array.to_list c.links
+    |> List.filter (fun (a, b, _, _) -> pair_key a b <> pr)
+    |> Array.of_list
+  in
+  { c with Case.links = links }
+
+let minimize ?(budget = 300) ~fails case =
+  let tries = ref 0 in
+  (* [attempt old cand] is [Some cand] iff [cand] is a genuine
+     simplification that is still valid and still failing. *)
+  let attempt old cand =
+    if cand = old || !tries >= budget then None
+    else begin
+      incr tries;
+      if Case.valid cand && fails cand then Some cand else None
+    end
+  in
+  (* Remove [chunk]-sized slices while any removal sticks, halving the
+     chunk size down to single elements (ddmin-lite). Chunks are tried
+     from the tail first: for events that means suffix truncation, which
+     cannot break per-link fail/recover alternation. *)
+  let rec drop_chunks ~get ~set c chunk =
+    if chunk < 1 then c
+    else begin
+      let c = ref c in
+      let i = ref (Array.length (get !c) - chunk) in
+      while !i >= 0 do
+        let items = get !c in
+        let n = Array.length items in
+        let lo = Int.max 0 !i in
+        let hi = Int.min n (lo + chunk) in
+        if hi > lo then begin
+          let cand =
+            set !c (Array.append (Array.sub items 0 lo) (Array.sub items hi (n - hi)))
+          in
+          match attempt !c cand with
+          | Some c' -> c := c'
+          | None -> ()
+        end;
+        i := !i - chunk
+      done;
+      drop_chunks ~get ~set !c (chunk / 2)
+    end
+  in
+  let pass (c : Case.t) =
+    (* 1. event chunks *)
+    let c =
+      drop_chunks
+        ~get:(fun (c : Case.t) -> Array.of_list c.events)
+        ~set:(fun c ev -> { c with Case.events = Array.to_list ev })
+        c
+        (List.length c.events / 2)
+    in
+    (* 2. whole per-physical-link event groups *)
+    let event_pairs =
+      List.fold_left
+        (fun acc (ev : Case.event) ->
+          let k = pair_key ev.a ev.b in
+          if List.mem k acc then acc else k :: acc)
+        [] c.events
+      |> List.rev
+    in
+    let c =
+      List.fold_left
+        (fun c pr ->
+          let cand =
+            {
+              c with
+              Case.events =
+                List.filter
+                  (fun (ev : Case.event) -> pair_key ev.a ev.b <> pr)
+                  c.Case.events;
+            }
+          in
+          match attempt c cand with Some c' -> c' | None -> c)
+        c event_pairs
+    in
+    (* 3. demand chunks *)
+    let c =
+      drop_chunks
+        ~get:(fun (c : Case.t) -> c.demands)
+        ~set:(fun c d -> { c with Case.demands = d })
+        c
+        (Array.length c.demands / 2)
+    in
+    (* 4. physical links *)
+    let link_pairs =
+      Array.fold_left
+        (fun acc (a, b, _, _) ->
+          let k = pair_key a b in
+          if List.mem k acc then acc else k :: acc)
+        [] c.links
+      |> List.rev
+    in
+    let c =
+      List.fold_left
+        (fun c pr ->
+          match attempt c (drop_link_pair c pr) with
+          | Some c' -> c'
+          | None -> c)
+        c link_pairs
+    in
+    (* 5. nodes, highest id first (cheapest renumbering) *)
+    let c =
+      let rec go c v =
+        if v < 0 then c
+        else
+          match attempt c (drop_node c v) with
+          | Some c' -> go c' (Int.min (v - 1) (c'.Case.nodes - 1))
+          | None -> go c (v - 1)
+      in
+      go c (c.Case.nodes - 1)
+    in
+    (* 6. scalar knobs toward 1 *)
+    let scalar c get set =
+      List.fold_left
+        (fun c target ->
+          if get c <= target then c
+          else match attempt c (set c target) with Some c' -> c' | None -> c)
+        c [ 1; 2; 5 ]
+    in
+    let c = scalar c (fun (c : Case.t) -> c.count) (fun c v -> { c with Case.count = v }) in
+    let c = scalar c (fun (c : Case.t) -> c.k) (fun c v -> { c with Case.k = v }) in
+    let c = scalar c (fun (c : Case.t) -> c.f) (fun c v -> { c with Case.f = v }) in
+    c
+  in
+  let rec fix c =
+    let c' = pass c in
+    if c' = c || !tries >= budget then c' else fix c'
+  in
+  fix case

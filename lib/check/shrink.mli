@@ -1,0 +1,24 @@
+(** Greedy structural case minimization (DESIGN.md §18).
+
+    Classic delta-debugging flavour: repeatedly try structurally smaller
+    candidates, keep any candidate that is still {!Case.valid} and still
+    fails the oracle, stop at a fixpoint or when the oracle-invocation
+    budget runs out. Passes, in order:
+
+    - drop event chunks (halving chunk sizes — suffixes go first, which
+      preserves per-link fail/recover alternation);
+    - drop all events of one physical link at a time;
+    - drop demand chunks (at least one demand always survives);
+    - drop one physical link (both directions) at a time — candidates
+      that disconnect the graph are rejected by {!Case.valid};
+    - drop one node at a time, renumbering ids and dropping the links,
+      demands and events that referenced it;
+    - shrink the scalar knobs [count], [k], [f] toward 1.
+
+    Every candidate is checked with the same oracle the case failed, so
+    the minimized case is failing by construction. *)
+
+(** [minimize ~fails case] assumes [fails case = true] and returns a
+    smaller (or equal) case for which [fails] still holds. [budget]
+    (default 300) caps the number of [fails] invocations. *)
+val minimize : ?budget:int -> fails:(Case.t -> bool) -> Case.t -> Case.t

@@ -28,46 +28,6 @@ let link_delay g e ~util =
   let rho = Float.min util 0.98 in
   G.delay g e *. (1.0 +. (0.25 *. rho /. (1.0 -. rho)))
 
-let routing_at g pairs demands scheme events time =
-  let fallen =
-    List.filter (fun ev -> ev.at_s <= time) events |> List.map (fun ev -> ev.fail)
-  in
-  match scheme with
-  | R3_plan plan ->
-    (* R3 reacts within a detection interval (sub-second); model as
-       immediate at our timestep resolution. *)
-    let st =
-      R3_core.Reconfig.make g ~pairs ~demands ~base:plan.R3_core.Offline.base
-        ~protection:plan.R3_core.Offline.protection
-    in
-    let st =
-      List.fold_left
-        (fun st e -> R3_core.Reconfig.fail st (Scenario.of_links g [ e ]))
-        st fallen
-    in
-    (st.R3_core.Reconfig.base, st.R3_core.Reconfig.failed)
-  | Ospf { weights; reconvergence_s } ->
-    (* OSPF only sees failures older than its reconvergence delay; younger
-       ones blackhole the traffic crossing them (we zero those links'
-       flow, modelling drops at the failure point). *)
-    let converged =
-      List.filter (fun ev -> ev.at_s +. reconvergence_s <= time) events
-      |> List.map (fun ev -> ev.fail)
-    in
-    let failed_now =
-      G.fail_bidir g (List.map (fun ev -> ev.fail) (List.filter (fun ev -> ev.at_s <= time) events))
-    in
-    let routing_basis = G.fail_bidir g converged in
-    let r = R3_net.Ospf.routing g ~failed:routing_basis ~weights ~pairs () in
-    (* zero out flow on freshly failed, not-yet-converged links *)
-    for e = 0 to G.num_links g - 1 do
-      if failed_now.(e) then
-        for k = 0 to Routing.num_commodities r - 1 do
-          if Routing.get r k e > 0.0 then Routing.set r k e 0.0
-        done
-    done;
-    (r, failed_now)
-
 let run ?(config = default_config) g ~pairs ~demands ~scheme ~events () =
   let m = G.num_links g in
   let nk = Array.length pairs in
@@ -75,6 +35,89 @@ let run ?(config = default_config) g ~pairs ~demands ~scheme ~events () =
   (* Deterministic per-commodity burst phases. *)
   let phase = Array.init nk (fun _ -> R3_util.Prng.float rng (2.0 *. Float.pi)) in
   let freq = Array.init nk (fun _ -> 0.05 +. R3_util.Prng.float rng 0.2) in
+  (* Incremental routing state carried across timesteps. The old code
+     rebuilt [Reconfig.make] from the pristine plan (and, on the OSPF arm,
+     re-ran a full SPF routing) at every dt and re-folded every fallen
+     link one singleton at a time — quadratic in the event count and
+     linear in the run length even with no topology change. Instead the
+     chronologically sorted events are consumed by advance-only cursors:
+     the R3 arm folds newly fallen links as one canonical {!Scenario.t}
+     delta on the copy-on-write substrate (Theorem 3 makes that
+     bit-identical to the from-scratch rebuild), and the OSPF arm caches
+     the SPF routing keyed by the converged prefix, re-solving only when
+     that prefix grows. *)
+  let ev =
+    Array.of_list
+      (List.stable_sort (fun a b -> Float.compare a.at_s b.at_s) events)
+  in
+  let nev = Array.length ev in
+  let r3_st =
+    match scheme with
+    | R3_plan plan ->
+      Some
+        (ref
+           (R3_core.Reconfig.make g ~pairs ~demands
+              ~base:plan.R3_core.Offline.base
+              ~protection:plan.R3_core.Offline.protection))
+    | Ospf _ -> None
+  in
+  let r3_cursor = ref 0 in
+  let ospf_fall = ref 0 and ospf_conv = ref 0 in
+  let ospf_basis = ref None in
+  let routing_at time =
+    match scheme with
+    | R3_plan _ ->
+      (* R3 reacts within a detection interval (sub-second); model as
+         immediate at our timestep resolution. *)
+      let st = Option.get r3_st in
+      let fresh = ref [] in
+      while !r3_cursor < nev && ev.(!r3_cursor).at_s <= time do
+        fresh := ev.(!r3_cursor).fail :: !fresh;
+        incr r3_cursor
+      done;
+      if !fresh <> [] then
+        st := R3_core.Reconfig.fail !st (Scenario.of_links g !fresh);
+      ((!st).R3_core.Reconfig.base, (!st).R3_core.Reconfig.failed)
+    | Ospf { weights; reconvergence_s } ->
+      (* OSPF only sees failures older than its reconvergence delay;
+         younger ones blackhole the traffic crossing them (we zero those
+         links' flow, modelling drops at the failure point). *)
+      while !ospf_fall < nev && ev.(!ospf_fall).at_s <= time do
+        incr ospf_fall
+      done;
+      while
+        !ospf_conv < nev && ev.(!ospf_conv).at_s +. reconvergence_s <= time
+      do
+        incr ospf_conv
+      done;
+      let prefix n = List.init n (fun i -> ev.(i).fail) in
+      let basis =
+        match !ospf_basis with
+        | Some (n, r) when n = !ospf_conv -> r
+        | _ ->
+          let r =
+            R3_net.Ospf.routing g
+              ~failed:(G.fail_bidir g (prefix !ospf_conv))
+              ~weights ~pairs ()
+          in
+          ospf_basis := Some (!ospf_conv, r);
+          r
+      in
+      let failed_now = G.fail_bidir g (prefix !ospf_fall) in
+      if !ospf_fall = !ospf_conv then (basis, failed_now)
+      else begin
+        (* Zero the not-yet-converged links on a copy-on-write copy so
+           the cached converged basis stays pristine for later steps. *)
+        let r = Routing.copy basis in
+        for e = 0 to m - 1 do
+          if failed_now.(e) then
+            for k = 0 to Routing.num_commodities r - 1 do
+              if Routing.get r k e > 0.0 then Routing.set r k e 0.0
+            done
+        done;
+        (r, failed_now)
+      end
+  in
   let steps = ref [] in
   let nsteps = int_of_float (config.duration_s /. config.dt_s) in
   for i = 0 to nsteps - 1 do
@@ -84,7 +127,7 @@ let run ?(config = default_config) g ~pairs ~demands ~scheme ~events () =
           demands.(k)
           *. (1.0 +. (config.burstiness *. sin ((freq.(k) *. time) +. phase.(k)))))
     in
-    let routing, failed = routing_at g pairs offered scheme events time in
+    let routing, failed = routing_at time in
     let loads = Routing.loads g ~demands:offered routing in
     let utilization =
       Array.init m (fun e ->

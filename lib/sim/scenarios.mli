@@ -16,8 +16,13 @@ val physical_links : R3_net.Graph.t -> R3_net.Graph.link array
 val enumerate : R3_net.Graph.t -> k:int -> Scenario.t list
 
 (** [sample g ~k ~count ~seed] distinct random scenarios of [k] physical
-    links (fewer if the space is smaller than [count]). Deterministic in
-    [seed]; draws the same scenarios the legacy [sample_k] drew. *)
+    links. Deterministic in [seed]; draws the same scenarios the legacy
+    [sample_k] drew. Returns exactly [min count C(n,k)] scenarios except
+    in one documented case: when the space is too large to enumerate yet
+    rejection sampling exhausts its [100 * count]-attempt guard (possible
+    only when [count] is close to [C(n,k)]), the result is shorter. Such
+    a shortfall is never silent — the missing scenario count is added to
+    the [sim.scenarios.sample_shortfall] metrics counter. *)
 val sample :
   R3_net.Graph.t -> k:int -> count:int -> seed:int -> Scenario.t list
 

@@ -1,16 +1,3 @@
-let mean xs =
-  let n = Array.length xs in
-  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
-
-let stddev xs =
-  let n = Array.length xs in
-  if n < 2 then 0.0
-  else begin
-    let m = mean xs in
-    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
-    sqrt (acc /. float_of_int n)
-  end
-
 (* NaN poisons order statistics silently ([Float.compare] files NaNs after
    every real value, so high percentiles quietly return NaN while low ones
    look fine); reject it loudly instead. *)
@@ -18,6 +5,23 @@ let reject_nan fname xs =
   Array.iter
     (fun x -> if Float.is_nan x then invalid_arg (fname ^ ": NaN sample"))
     xs
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.mean: empty array";
+  reject_nan "Stats.mean" xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.stddev: empty array";
+  reject_nan "Stats.stddev" xs;
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (acc /. float_of_int n)
+  end
 
 let min xs =
   if Array.length xs = 0 then invalid_arg "Stats.min: empty array";

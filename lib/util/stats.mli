@@ -1,11 +1,16 @@
 (** Small statistics helpers used by the evaluation harness. *)
 
-(** Arithmetic mean; 0 for the empty array. *)
+(** Arithmetic mean. Raises [Invalid_argument] on an empty array (the old
+    behaviour fabricated 0.0, which silently skewed downstream summaries
+    while {!min}/{!max} on the same input raised) or on any NaN sample —
+    the same contract as every other aggregate here. *)
 val mean : float array -> float
 
 (** {e Population} standard deviation (divides by [n], not [n-1] — these
     summaries describe the full scenario population swept, not a sample of
-    it); 0 for arrays of length < 2. *)
+    it); 0 for a single sample. Raises [Invalid_argument] on an empty
+    array or on any NaN sample (NaN used to propagate silently while every
+    order statistic rejected it). *)
 val stddev : float array -> float
 
 (** Smallest / largest sample. Raise [Invalid_argument] on an empty array
@@ -39,6 +44,8 @@ val sorted : float array -> float array
 val cdf_points : float array -> (float * float) array
 
 (** [histogram ~bins ~lo ~hi xs] counts values per equal-width bin; values
-    outside [lo,hi] are clamped to the boundary bins. Raises
-    [Invalid_argument] on NaN samples (they have no bucket). *)
+    outside [lo,hi] are clamped to the boundary bins, so the counts always
+    sum to [Array.length xs]. A degenerate range ([hi <= lo], zero bin
+    width) puts every sample in bucket 0. Raises [Invalid_argument] on
+    [bins <= 0] or on NaN samples (they have no bucket). *)
 val histogram : bins:int -> lo:float -> hi:float -> float array -> int array

@@ -1,0 +1,125 @@
+(* Tests for the differential fuzz subsystem (lib/check): generator
+   determinism, case serialization and loader error paths, the shrinker,
+   and a smoke pass over the oracle registry. The heavier sweep lives in
+   the @fuzz-smoke alias (bin/dune); committed-corpus replay is wired
+   into runtest from test/dune. *)
+
+module Case = R3_check.Case
+module Gen = R3_check.Gen
+module Oracle = R3_check.Oracle
+module Shrink = R3_check.Shrink
+
+let test_gen_deterministic () =
+  List.iter
+    (fun seed ->
+      let a = Gen.case ~oracle:"lp-agree" ~seed in
+      let b = Gen.case ~oracle:"lp-agree" ~seed in
+      Alcotest.(check string) "same seed, same case" (Case.digest a)
+        (Case.digest b);
+      Alcotest.(check bool) "generated case is valid" true (Case.valid a))
+    [ 1; 7; 42; 123456789 ];
+  let a = Gen.case ~oracle:"lp-agree" ~seed:1 in
+  let b = Gen.case ~oracle:"lp-agree" ~seed:2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Case.digest a <> Case.digest b)
+
+let test_case_json_roundtrip () =
+  List.iter
+    (fun seed ->
+      let c = Gen.case ~oracle:"online-vs-batch" ~seed in
+      match Case.of_json (Case.to_json c) with
+      | Error m -> Alcotest.failf "round-trip rejected: %s" m
+      | Ok c' ->
+        Alcotest.(check string) "digest survives JSON" (Case.digest c)
+          (Case.digest c'))
+    [ 3; 5; 99 ]
+
+let test_case_load_errors () =
+  (match Case.load "/nonexistent/r3-no-such-case.json" with
+  | Ok _ -> Alcotest.fail "load of a missing file succeeded"
+  | Error _ -> ());
+  let tmp = Filename.temp_file "r3check-test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      let write s =
+        let oc = open_out tmp in
+        output_string oc s;
+        close_out oc
+      in
+      write "{ not json";
+      (match Case.load tmp with
+      | Ok _ -> Alcotest.fail "load of malformed JSON succeeded"
+      | Error _ -> ());
+      write "{\"format\": 1}";
+      match Case.load tmp with
+      | Ok _ -> Alcotest.fail "load of an incomplete case succeeded"
+      | Error _ -> ())
+
+let test_save_load_roundtrip () =
+  let c = Gen.case ~oracle:"reorder-independence" ~seed:31 in
+  let tmp = Filename.temp_file "r3check-test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      Case.save tmp c;
+      match Case.load tmp with
+      | Error m -> Alcotest.failf "load back: %s" m
+      | Ok c' ->
+        Alcotest.(check string) "digest survives disk" (Case.digest c)
+          (Case.digest c'))
+
+let test_shrink_minimizes () =
+  (* Synthetic predicate: a case "fails" while its schedule is nonempty.
+     The shrinker must reach the one-event fixpoint without ever keeping
+     an invalid candidate. *)
+  let c = Gen.case ~oracle:"online-vs-batch" ~seed:12 in
+  Alcotest.(check bool) "seed case has several events" true
+    (List.length c.Case.events >= 2);
+  let fails c = Case.valid c && List.length c.Case.events >= 1 in
+  let m = Shrink.minimize ~fails c in
+  Alcotest.(check bool) "minimized case still fails" true (fails m);
+  Alcotest.(check int) "schedule shrunk to one event" 1
+    (List.length m.Case.events);
+  Alcotest.(check bool) "minimized case is valid" true (Case.valid m);
+  Alcotest.(check bool) "no larger than the input" true
+    (Array.length m.Case.links <= Array.length c.Case.links
+    && Array.length m.Case.demands <= Array.length c.Case.demands)
+
+let test_registry_consistency () =
+  let names = Oracle.names in
+  Alcotest.(check int) "names match registry" (List.length Oracle.all)
+    (List.length names);
+  Alcotest.(check int) "names are distinct" (List.length names)
+    (List.length (List.sort_uniq String.compare names));
+  List.iter
+    (fun n ->
+      match Oracle.find n with
+      | Some o -> Alcotest.(check string) "find returns the named oracle" n o.Oracle.name
+      | None -> Alcotest.failf "registered oracle %s not found" n)
+    names;
+  Alcotest.(check bool) "unknown name rejected" true
+    (Oracle.find "no-such-oracle" = None)
+
+let test_oracles_pass_on_generated_cases () =
+  List.iter
+    (fun o ->
+      let case = Gen.case ~oracle:o.Oracle.name ~seed:202 in
+      match Oracle.run o case with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "oracle %s failed: %s" o.Oracle.name m)
+    Oracle.all
+
+let suite =
+  [
+    Alcotest.test_case "generator determinism" `Quick test_gen_deterministic;
+    Alcotest.test_case "case JSON round-trip" `Quick test_case_json_roundtrip;
+    Alcotest.test_case "case load error paths" `Quick test_case_load_errors;
+    Alcotest.test_case "case save/load round-trip" `Quick
+      test_save_load_roundtrip;
+    Alcotest.test_case "shrinker reaches fixpoint" `Quick test_shrink_minimizes;
+    Alcotest.test_case "oracle registry consistency" `Quick
+      test_registry_consistency;
+    Alcotest.test_case "oracles pass on generated cases" `Slow
+      test_oracles_pass_on_generated_cases;
+  ]

@@ -17,4 +17,5 @@ let () =
       ("sim", Test_sim.suite);
       ("sweep", Test_sweep.suite);
       ("online", Test_online.suite);
+      ("check", Test_check.suite);
     ]

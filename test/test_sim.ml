@@ -30,6 +30,50 @@ let test_sample_distinct () =
   Alcotest.(check int) "distinct" 100
     (List.length (List.sort_uniq Sc.compare samples))
 
+(* Regressions for Scenarios.sample's documented contract; the fuzzer's
+   scenario-sampling oracle checks the same properties on random cases. *)
+let test_sample_exceeds_total () =
+  let g = Topology.abilene () in
+  (* Only 14 single-link scenarios exist; asking for more returns the
+     whole space, never duplicates or a hang. *)
+  let s = S.sample g ~k:1 ~count:100 ~seed:3 in
+  Alcotest.(check int) "whole space returned" 14 (List.length s);
+  Alcotest.(check int) "distinct" 14 (List.length (List.sort_uniq Sc.compare s))
+
+let test_sample_deterministic () =
+  let g = Topology.uunet_like () in
+  let a = S.sample g ~k:2 ~count:40 ~seed:9 in
+  let b = S.sample g ~k:2 ~count:40 ~seed:9 in
+  Alcotest.(check int) "same length" (List.length a) (List.length b);
+  Alcotest.(check bool) "same seed, same scenarios" true
+    (List.for_all2 (fun x y -> Sc.compare x y = 0) a b)
+
+let test_sample_rejection_path_exact () =
+  (* abilene: C(14,2) = 91 pair scenarios; count = 60 sits above the
+     1.5x enumeration threshold, so rejection sampling runs. The fixed
+     guard (100x count draws) must deliver exactly 60 distinct scenarios
+     and record no shortfall. *)
+  let before =
+    R3_util.Metrics.counter_value "sim.scenarios.sample_shortfall"
+  in
+  let g = Topology.abilene () in
+  let s = S.sample g ~k:2 ~count:60 ~seed:21 in
+  let after =
+    R3_util.Metrics.counter_value "sim.scenarios.sample_shortfall"
+  in
+  Alcotest.(check int) "exact count" 60 (List.length s);
+  Alcotest.(check int) "distinct" 60 (List.length (List.sort_uniq Sc.compare s));
+  Alcotest.(check int) "no shortfall recorded" before after
+
+let test_sample_generated_fast () =
+  (* Anti-hang regression: C(230, 5) on the generated backbone used to
+     be computed with an unmemoized Pascal recursion — minutes of
+     additions before the first draw. The multiplicative binom is O(k). *)
+  let g = Topology.generated () in
+  let s = S.sample g ~k:5 ~count:50 ~seed:17 in
+  Alcotest.(check int) "50 scenarios" 50 (List.length s);
+  List.iter (fun sc -> Alcotest.(check int) "size 5" 5 (Sc.size sc)) s
+
 let test_connected_only () =
   let g = Topology.abilene () in
   let all = S.enumerate g ~k:2 in
@@ -184,6 +228,13 @@ let suite =
     Alcotest.test_case "physical links" `Quick test_physical_links;
     Alcotest.test_case "all_k counts" `Quick test_all_k_counts;
     Alcotest.test_case "sampling distinct" `Quick test_sample_distinct;
+    Alcotest.test_case "sampling caps at the space" `Quick
+      test_sample_exceeds_total;
+    Alcotest.test_case "sampling deterministic" `Quick test_sample_deterministic;
+    Alcotest.test_case "sampling rejection path exact" `Quick
+      test_sample_rejection_path_exact;
+    Alcotest.test_case "sampling on generated backbone" `Quick
+      test_sample_generated_fast;
     Alcotest.test_case "connected_only filter" `Quick test_connected_only;
     Alcotest.test_case "all algorithms run" `Slow test_eval_algorithms_run;
     Alcotest.test_case "R3 never beats opt detour" `Slow test_eval_r3_close_to_opt;

@@ -75,6 +75,40 @@ let test_prng_sample_distinct () =
   let sorted = Array.to_list s |> List.sort_uniq Int.compare in
   Alcotest.(check int) "distinct" 10 (List.length sorted)
 
+(* Sampling and shuffling must be deterministic functions of the
+   generator state: a copied generator replays the exact draw. The fuzz
+   oracles (lib/check) lean on this to reproduce cases from a seed. *)
+let test_prng_sample_copy_determinism () =
+  let rng = Prng.create 77 in
+  ignore (Prng.bits rng);
+  let twin = Prng.copy rng in
+  let arr = Array.init 40 (fun i -> i * 3) in
+  Alcotest.(check (array int))
+    "sample replays on a copy"
+    (Prng.sample rng 12 arr)
+    (Prng.sample twin 12 arr);
+  let a = Array.init 25 (fun i -> i) in
+  let b = Array.copy a in
+  Prng.shuffle rng a;
+  Prng.shuffle twin b;
+  Alcotest.(check (array int)) "shuffle replays on a copy" a b
+
+let test_prng_sample_full_permutation () =
+  let rng = Prng.create 78 in
+  let arr = Array.init 23 (fun i -> 100 - i) in
+  let s = Prng.sample rng 23 arr in
+  let sorted x =
+    let c = Array.copy x in
+    Array.sort Int.compare c;
+    c
+  in
+  Alcotest.(check (array int))
+    "k = n sample is a permutation" (sorted arr) (sorted s);
+  try
+    ignore (Prng.sample rng 24 arr);
+    Alcotest.fail "k > n accepted"
+  with Invalid_argument _ -> ()
+
 let test_pareto_heavy_tail () =
   let rng = Prng.create 15 in
   let n = 5000 in
@@ -208,6 +242,29 @@ let test_stats_empty_rejected () =
   expect_invalid "min" (fun () -> Stats.min [||]);
   expect_invalid "max" (fun () -> Stats.max [||])
 
+(* Regression: mean of an empty array used to return NaN while stddev
+   returned 0 — inconsistent fabrications. Both refuse now, like
+   min/max; stddev of a single sample is 0 by the documented contract. *)
+let test_stats_empty_mean_stddev () =
+  let expect_invalid name f =
+    try
+      ignore (f ());
+      Alcotest.failf "%s: expected Invalid_argument on empty array" name
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid "mean" (fun () -> Stats.mean [||]);
+  expect_invalid "stddev" (fun () -> Stats.stddev [||]);
+  Alcotest.(check (float 0.0)) "stddev of one sample" 0.0
+    (Stats.stddev [| 5.0 |])
+
+(* Documented histogram corner: a degenerate range (lo = hi) has zero
+   bucket width; every sample lands in bucket 0 instead of dividing by
+   zero, and the total count is preserved. *)
+let test_histogram_degenerate_range () =
+  let h = Stats.histogram ~bins:4 ~lo:3.0 ~hi:3.0 [| 3.0; 3.0; 2.0 |] in
+  Alcotest.(check int) "all in bucket 0" 3 h.(0);
+  Alcotest.(check int) "total preserved" 3 (Array.fold_left ( + ) 0 h)
+
 (* Regression: wall-clock deltas are clamped at zero, so a backwards NTP
    step can never yield a negative duration. We cannot step the clock in
    a test, but the non-negativity contract itself must hold. *)
@@ -326,6 +383,10 @@ let suite =
     Alcotest.test_case "prng uniformity" `Quick test_prng_uniformity;
     Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
     Alcotest.test_case "sample distinct" `Quick test_prng_sample_distinct;
+    Alcotest.test_case "sample/shuffle replay on a copy" `Quick
+      test_prng_sample_copy_determinism;
+    Alcotest.test_case "full-size sample permutes" `Quick
+      test_prng_sample_full_permutation;
     Alcotest.test_case "pareto heavy tail" `Quick test_pareto_heavy_tail;
     Alcotest.test_case "stats basics" `Quick test_stats_basics;
     Alcotest.test_case "stats stddev" `Quick test_stats_stddev;
@@ -341,6 +402,10 @@ let suite =
     Alcotest.test_case "stats reject NaN" `Quick test_stats_nan_rejected;
     Alcotest.test_case "stats reject empty min/max" `Quick
       test_stats_empty_rejected;
+    Alcotest.test_case "stats reject empty mean/stddev" `Quick
+      test_stats_empty_mean_stddev;
+    Alcotest.test_case "histogram degenerate range" `Quick
+      test_histogram_degenerate_range;
     Alcotest.test_case "timer non-negative" `Quick test_timer_non_negative;
     Alcotest.test_case "parallel backtrace preserved" `Quick
       test_parallel_backtrace;
